@@ -1,0 +1,57 @@
+"""Section 7 — the broadcast-snooping CMP alternative.
+
+Runs a subset of the workloads under the snooping fabric (every request
+broadcast, wired-OR NACK line, no sticky states) and compares against the
+directory baseline.
+
+Shape checks:
+* correctness is identical (same units completed, exact atomicity);
+* snooping generates far more conflict-check traffic per request (every
+  core snoops everything) while the directory filters forwards;
+* performance stays in the same ballpark on these workloads (the paper's
+  point is feasibility, not a winner).
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro import CoherenceStyle, SystemConfig, run_workload
+from repro.harness.experiments import make_workload
+from repro.harness.report import render_table
+
+
+def compare_fabrics(scale):
+    rows = []
+    for name in ("Cholesky", "Mp3d"):
+        results = {}
+        for style in (CoherenceStyle.DIRECTORY, CoherenceStyle.SNOOPING):
+            cfg = replace(SystemConfig.default(), coherence=style)
+            results[style] = run_workload(cfg, make_workload(name, scale))
+        d, s = (results[CoherenceStyle.DIRECTORY],
+                results[CoherenceStyle.SNOOPING])
+        rows.append((name, d.cycles, s.cycles,
+                     d.counters.get("coherence.forwards", 0),
+                     s.counters.get("coherence.snoops", 0),
+                     d.units, s.units))
+    return rows
+
+
+def test_snooping_alternative(benchmark, scale):
+    rows = run_once(benchmark, compare_fabrics, scale)
+    print()
+    print(render_table(
+        ["Benchmark", "Directory cycles", "Snooping cycles",
+         "Dir forwards", "Snoop broadcasts", "Dir units", "Snoop units"],
+        rows, title="Section 7: directory vs. broadcast snooping"))
+    if not scale.asserts_shapes:
+        return  # quick scale exercises the path; shapes need full scale
+    cores = SystemConfig.default().num_cores
+    for (name, d_cycles, s_cycles, d_fwd, s_snoops,
+         d_units, s_units) in rows:
+        assert d_units == s_units, f"{name}: same work must complete"
+        # The directory forwards selectively; every snoop broadcast checks
+        # all other cores, so total signature-check traffic dominates.
+        assert s_snoops * (cores - 1) > d_fwd
+        # Same ballpark performance (within 2x either way).
+        assert 0.5 <= s_cycles / d_cycles <= 2.0

@@ -1,0 +1,139 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Log filter** (Section 2): with the per-thread filter, repeated stores
+   to a block are logged once; with a zero-entry filter every store pays a
+   log append. Measures undo-log traffic and cycles.
+2. **Sticky states** (Section 3.1): with sticky states disabled, an
+   L1-overflowing transaction loses conflict-forwarding coverage — counts
+   how many evictions would have lost isolation.
+3. **Signature size sweep**: BerkeleyDB's false-positive share as BS
+   shrinks from 4Kb to 32 bits (the birthday-paradox curve behind
+   Result 3).
+4. **Lock implementation**: the queued-mutex baseline vs. a
+   test-and-test-and-set spinlock running through the memory system —
+   quantifying how much lock implementation, not locking itself, costs.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro import LockImpl, SignatureKind, SyncMode, SystemConfig, run_workload
+from repro.harness.experiments import make_workload
+from repro.harness.report import render_table
+from repro.workloads import BigFootprint, RepeatStores
+
+
+def ablate_log_filter():
+    rows = []
+    for entries in (0, 4, 32):
+        cfg = SystemConfig.small(num_cores=2)
+        cfg = replace(cfg, tm=replace(cfg.tm, log_filter_entries=entries))
+        wl = RepeatStores(num_threads=2, units_per_thread=6,
+                          stores_per_burst=48)
+        result = run_workload(cfg, wl)
+        rows.append((entries, result.counters["tm.log_appends"],
+                     result.counters.get("tm.log_filtered", 0),
+                     result.cycles))
+    return rows
+
+
+def test_ablation_log_filter(benchmark):
+    rows = run_once(benchmark, ablate_log_filter)
+    print()
+    print(render_table(
+        ["Filter entries", "Log appends", "Appends filtered", "Cycles"],
+        rows, title="Ablation: log filter"))
+    appends = {entries: a for entries, a, _f, _c in rows}
+    cycles = {entries: c for entries, _a, _f, c in rows}
+    # No filter -> every store logged; a 4-entry filter already suppresses
+    # all repeats of this single-block burst.
+    assert appends[0] > appends[4] * 10
+    assert appends[4] == appends[32]
+    assert cycles[32] < cycles[0]
+
+
+def ablate_sticky_states():
+    rows = []
+    for sticky in (True, False):
+        cfg = SystemConfig.small(num_cores=2)
+        cfg = replace(cfg, tm=replace(cfg.tm, use_sticky_states=sticky))
+        wl = BigFootprint(num_threads=2, units_per_thread=3,
+                          blocks_per_sweep=96)
+        result = run_workload(cfg, wl)
+        rows.append(("on" if sticky else "off",
+                     result.counters.get("victimization.l1_tx", 0),
+                     result.counters.get("coherence.sticky_created", 0),
+                     result.units))
+    return rows
+
+
+def test_ablation_sticky_states(benchmark):
+    rows = run_once(benchmark, ablate_sticky_states)
+    print()
+    print(render_table(
+        ["Sticky states", "Tx victimizations", "Sticky created", "Units"],
+        rows, title="Ablation: sticky directory states"))
+    by_mode = {mode: (vict, created) for mode, vict, created, _u in rows}
+    on_vict, on_created = by_mode["on"]
+    off_vict, off_created = by_mode["off"]
+    # Overflow happens either way; only the sticky mechanism records an
+    # isolation obligation. Every non-sticky transactional eviction is a
+    # would-be isolation hole (demonstrated concretely in the test suite).
+    assert on_vict > 0 and off_vict > 0
+    assert on_created > 0
+    assert off_created == 0
+
+
+def sweep_signature_sizes():
+    rows = []
+    for bits in (4096, 1024, 256, 64, 32):
+        cfg = SystemConfig.default().with_signature(
+            SignatureKind.BIT_SELECT, bits=bits)
+        result = run_workload(cfg, make_workload(
+            "BerkeleyDB", _SWEEP_SCALE))
+        rows.append((bits, result.cycles, result.aborts, result.stalls,
+                     round(result.false_positive_pct, 1)))
+    return rows
+
+
+_SWEEP_SCALE = None  # bound in the test from the session fixture
+
+
+def test_ablation_signature_size_sweep(benchmark, scale):
+    global _SWEEP_SCALE
+    _SWEEP_SCALE = scale
+    rows = run_once(benchmark, sweep_signature_sizes)
+    print()
+    print(render_table(
+        ["BS bits", "Cycles", "Aborts", "Stalls", "False positive %"],
+        rows, title="Ablation: signature size sweep (BerkeleyDB)"))
+    fp = {bits: fp_pct for bits, _c, _a, _s, fp_pct in rows}
+    # The birthday paradox: false-positive share grows as bits shrink.
+    assert fp[32] >= fp[256] >= fp[4096]
+    assert fp[32] > 10.0
+    assert fp[4096] < 15.0
+
+
+def compare_lock_impls(scale):
+    rows = []
+    for impl in (LockImpl.MUTEX, LockImpl.SPIN):
+        cfg = replace(SystemConfig.default().with_sync(SyncMode.LOCKS),
+                      lock_impl=impl)
+        result = run_workload(cfg, make_workload("Mp3d", scale))
+        rows.append((impl.value, result.cycles,
+                     result.counters.get("locks.acquires", 0),
+                     result.counters.get("locks.spins", 0)))
+    return rows
+
+
+def test_ablation_lock_implementation(benchmark, scale):
+    rows = run_once(benchmark, compare_lock_impls, scale)
+    print()
+    print(render_table(
+        ["Lock impl", "Cycles", "Acquires", "Spin retries"], rows,
+        title="Ablation: queued mutex vs. TTS spinlock baseline"))
+    by_impl = {impl: cycles for impl, cycles, _a, _s in rows}
+    # The spinlock runs through the coherence protocol; under contention it
+    # cannot beat the queued mutex.
+    assert by_impl["spin"] >= by_impl["mutex"] * 0.9

@@ -1,0 +1,42 @@
+"""Figure 3 — the three signature implementations.
+
+The paper's Figure 3 is a hardware schematic; its measurable content is how
+each design (bit-select, double-bit-select, coarse-bit-select) converts
+occupancy into false positives. This benchmark regenerates that as a data
+series: false-positive rate per design, size, and inserted-set size.
+
+Shape checks:
+* more bits -> fewer false positives, for every design;
+* at equal size and moderate occupancy, DBS (two decoded fields) beats BS;
+* CBS pays a floor of macroblock-granularity aliasing but resists
+  saturation on large contiguous sets.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure3, render_figure3
+
+
+def test_figure3_signature_designs(benchmark):
+    points = run_once(benchmark, figure3)
+    print()
+    print(render_figure3(points))
+    rate = {(p.kind, p.bits, p.inserted): p.false_positive_rate
+            for p in points}
+
+    # Monotone in size: for every design and occupancy, growing the filter
+    # can only help (allowing tiny sampling noise).
+    for kind in ("BS", "DBS", "CBS"):
+        for n in (2, 8, 32, 128, 512):
+            assert rate[(kind, 64, n)] >= rate[(kind, 2048, n)] - 0.02
+
+    # Saturation: a 512-block set in a 64-bit BS filter aliases massively.
+    assert rate[("BS", 64, 512)] > 0.9
+    assert rate[("BS", 2048, 512)] < 0.3
+
+    # DBS <= BS at the same size for moderate occupancy (two hashes).
+    assert rate[("DBS", 2048, 128)] <= rate[("BS", 2048, 128)] + 0.01
+
+    # Perfectly empty filters never report conflicts.
+    assert all(p.false_positive_rate < 0.35
+               for p in points if p.inserted == 2 and p.bits == 2048)

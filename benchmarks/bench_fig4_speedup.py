@@ -1,0 +1,59 @@
+"""Figure 4 — Speedup normalized to locks.
+
+Runs all five workloads under the six configurations of the paper's
+Figure 4 (Lock, Perfect, BS 2Kb, CBS 2Kb, DBS 2Kb, BS 64b) on the Table 1
+machine, with pseudo-randomly perturbed runs for confidence intervals [2].
+
+Shape checks (Results 1-3):
+* LogTM-SE with perfect signatures performs comparably to locks or better
+  on every benchmark;
+* BerkeleyDB and Raytrace run 20-50% faster transactionally;
+* the realistic 2Kb signatures (BS/CBS/DBS) track perfect signatures;
+* the 64-bit BS signature stays comparable to locks everywhere.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.harness.experiments import figure4, render_figure4
+from repro.harness.report import render_bar
+
+
+def test_figure4_speedup_vs_locks(benchmark, scale):
+    cells = run_once(benchmark, figure4, scale)
+    print()
+    print(render_figure4(cells))
+    speedup = defaultdict(dict)
+    for c in cells:
+        speedup[c.workload][c.variant] = c.speedup
+
+    print()
+    for workload, variants in speedup.items():
+        for variant, value in variants.items():
+            print(f"{workload:11s} {variant:8s} "
+                  f"{render_bar(value, scale=2.0)} {value:.2f}")
+
+    if not scale.asserts_shapes:
+        return  # quick scale exercises the path; shapes need full scale
+
+    # Result 1: perfect signatures >= locks (small tolerance for noise).
+    for workload, variants in speedup.items():
+        assert variants["Perfect"] >= 0.90, (
+            f"{workload}: TM must be comparable to locks or better")
+
+    # BerkeleyDB and Raytrace benefit clearly from transactions.
+    assert speedup["BerkeleyDB"]["Perfect"] >= 1.15
+    assert speedup["Raytrace"]["Perfect"] >= 1.15
+
+    # Result 2: realistic 2Kb signatures track perfect signatures.
+    for workload, variants in speedup.items():
+        for label in ("BS_2Kb", "CBS_2Kb", "DBS_2Kb"):
+            assert variants[label] >= variants["Perfect"] * 0.85, (
+                f"{workload}/{label} must track perfect signatures")
+
+    # Result 3: even 64-bit signatures stay comparable to locks.
+    for workload, variants in speedup.items():
+        assert variants["BS_64"] >= 0.85, (
+            f"{workload}: BS_64 must remain comparable to locks")
+        assert variants["BS_64"] <= variants["Perfect"] * 1.1 + 0.05

@@ -1,0 +1,27 @@
+"""Table 1 — System Model Parameters.
+
+Regenerates the configuration table from ``SystemConfig.default()`` and
+checks every headline number against the paper's Table 1.
+"""
+
+from conftest import run_once
+
+from repro import SystemConfig
+from repro.harness.experiments import render_table1, table1_rows
+
+
+def test_table1_system_parameters(benchmark):
+    rows = run_once(benchmark, table1_rows, SystemConfig.default())
+    print()
+    print(render_table1())
+    settings = dict(rows)
+    assert "16 cores, 2-way SMT (32 thread contexts)" in settings[
+        "Processor Cores"]
+    assert "32 KB 4-way" in settings["L1 Cache"]
+    assert "1 cycle" in settings["L1 Cache"]
+    assert "8 MB 8-way" in settings["L2 Cache"]
+    assert "34-cycle" in settings["L2 Cache"]
+    assert "4 GB" in settings["Memory"]
+    assert "500-cycle" in settings["Memory"]
+    assert "6-cycle" in settings["L2-Directory"]
+    assert "3-cycle link" in settings["Interconnection Network"]

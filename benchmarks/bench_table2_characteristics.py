@@ -1,0 +1,46 @@
+"""Table 2 — Benchmarks and Inputs.
+
+Runs the five workloads with perfect signatures and measures what the
+paper's Table 2 reports: units of work, committed transactions, and
+read/write-set sizes (average and maximum, in 64-byte blocks).
+
+Shape checks (paper values in EXPERIMENTS.md):
+* Cholesky's footprint is exactly uniform (read 4 / write 2);
+* Raytrace has by far the largest read-set maximum (its traversal tail);
+* every workload's average sets are small (a handful of blocks) — the
+  property that lets small signatures work at all (Result 3).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import render_table2, table2
+
+
+def test_table2_benchmark_characteristics(benchmark, scale):
+    rows = run_once(benchmark, table2, scale)
+    print()
+    print(render_table2(rows))
+    by_name = {r.name: r for r in rows}
+    if not scale.asserts_shapes:
+        return  # quick scale exercises the path; shapes need full scale
+
+    assert set(by_name) == {"BerkeleyDB", "Cholesky", "Radiosity",
+                            "Raytrace", "Mp3d"}
+    for row in rows:
+        assert row.transactions >= row.units > 0
+
+    chol = by_name["Cholesky"]
+    assert (chol.read_avg, chol.read_max) == (4.0, 4)
+    assert (chol.write_avg, chol.write_max) == (2.0, 2)
+
+    ray = by_name["Raytrace"]
+    assert ray.read_max == max(r.read_max for r in rows)
+    assert ray.read_max >= 100, "the big-traversal tail must appear"
+    assert ray.write_max <= 4, "Raytrace write sets stay tiny (max 3)"
+
+    for row in rows:
+        assert row.read_avg <= 12, "average read sets are small"
+        assert row.write_avg <= 10, "average write sets are small"
+
+    rad = by_name["Radiosity"]
+    assert rad.write_max > 10 * rad.write_avg, "skewed write tail"

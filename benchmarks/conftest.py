@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Scale control: set ``REPRO_BENCH_SCALE=quick`` for a fast smoke pass
+(8 threads, few units) or ``full`` (default) for the paper's 32-context
+machine with enough work for stable shapes.
+
+Every benchmark prints the regenerated table/figure rows — run with
+``pytest benchmarks/ --benchmark-only -s`` to see them inline; they are
+also echoed into the benchmark's ``extra_info``.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiments import FULL, QUICK, ExperimentScale
+
+
+def bench_scale() -> ExperimentScale:
+    if os.environ.get("REPRO_BENCH_SCALE", "full").lower() == "quick":
+        return QUICK
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

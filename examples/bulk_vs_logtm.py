@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Eager (LogTM-SE) vs lazy (Bulk-style) version management, side by side.
+
+Section 8's central contrast, measured on identical work: LogTM-SE commits
+locally (clear signatures, reset the log pointer) and pays on abort (log
+walk); the Bulk-style lazy system aborts for free (drop the buffer) and
+pays at commit (global token + write-signature broadcast + data
+writeback). This demo runs the same contended hash-table workload in both
+modes and prints the cost structure.
+
+Usage::
+
+    python examples/bulk_vs_logtm.py
+"""
+
+from dataclasses import replace
+
+from repro import SystemConfig, run_workload
+from repro.harness.report import render_table
+from repro.workloads import HashTable
+
+
+def run_mode(mode: str):
+    cfg = SystemConfig.small(num_cores=4, threads_per_core=2)
+    cfg = replace(cfg, tm=replace(cfg.tm, version_management=mode))
+    wl = HashTable(num_threads=8, units_per_thread=15, num_buckets=4,
+                   key_space=16, seed=31, compute_between=50)
+    result = run_workload(cfg, wl, keep_system=True)
+    table = wl.read_table(result.system, result.system.page_table(0))
+    assert table == wl.expected_counts(), f"{mode}: oracle violated!"
+    return result
+
+
+def main() -> None:
+    rows = []
+    for mode in ("eager", "lazy"):
+        r = run_mode(mode)
+        rows.append((mode, r.cycles, r.commits, r.aborts, r.stalls,
+                     r.counters.get("tm.log_appends", 0),
+                     r.counters.get("tm.lazy_squashes", 0),
+                     r.counters.get("tm.lazy_writeback_blocks", 0)))
+    print(render_table(
+        ["Mode", "Cycles", "Commits", "Aborts", "Stalls", "Log appends",
+         "Squashes", "Writeback blocks"],
+        rows,
+        title="Same hash-table work under eager vs lazy versioning"))
+    print("""
+Reading the structure (both runs produce the identical, verified table):
+
+  eager (LogTM-SE)  — old values logged per first-write (log appends > 0);
+                      conflicts surface DURING execution as NACK stalls;
+                      commit is local and O(1); abort walks the log.
+  lazy  (Bulk-ish)  — zero log traffic; execution never stalls; conflicts
+                      surface AT COMMIT as squashes of whoever loses; every
+                      commit pays token + broadcast + per-block writeback.
+
+The paper bets commits vastly outnumber aborts, which favors making the
+commit the cheap operation — that is LogTM-SE's side of this table.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload under locks and under LogTM-SE.
+
+Builds the paper's 16-core / 32-context CMP (Table 1), runs the BerkeleyDB
+lock-subsystem workload both ways, and prints the speedup — a one-bar slice
+of Figure 4.
+
+Usage::
+
+    python examples/quickstart.py [--threads N] [--units U]
+"""
+
+import argparse
+
+from repro import SignatureKind, SyncMode, SystemConfig, run_workload
+from repro.workloads import BerkeleyDB
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threads", type=int, default=32,
+                        help="worker threads (max 32 on the default CMP)")
+    parser.add_argument("--units", type=int, default=3,
+                        help="database reads per thread")
+    parser.add_argument("--signature", default="bs",
+                        choices=[k.value for k in SignatureKind],
+                        help="signature implementation for the TM run")
+    parser.add_argument("--bits", type=int, default=2048,
+                        help="signature size in bits")
+    args = parser.parse_args()
+
+    base = SystemConfig.default()
+    kind = SignatureKind(args.signature)
+
+    print("Machine:", f"{base.num_cores} cores x {base.threads_per_core}-way "
+          f"SMT, {base.l1.size_bytes // 1024} KB L1, "
+          f"{base.l2.size_bytes // 2**20} MB L2, MESI directory + "
+          "sticky states")
+    print()
+
+    lock_run = run_workload(
+        base.with_sync(SyncMode.LOCKS),
+        BerkeleyDB(num_threads=args.threads, units_per_thread=args.units))
+    print(f"Locks:     {lock_run.cycles:>10,} cycles for "
+          f"{lock_run.units} database reads")
+
+    tm_cfg = base.with_signature(kind, bits=args.bits)
+    tm_run = run_workload(
+        tm_cfg,
+        BerkeleyDB(num_threads=args.threads, units_per_thread=args.units))
+    print(f"LogTM-SE:  {tm_run.cycles:>10,} cycles "
+          f"({tm_run.config_label} signatures)")
+    print(f"           {tm_run.commits} commits, {tm_run.aborts} aborts, "
+          f"{tm_run.stalls} stalls, "
+          f"{tm_run.false_positive_pct:.1f}% false-positive conflicts")
+    print()
+    print(f"Speedup over locks: {lock_run.cycles / tm_run.cycles:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

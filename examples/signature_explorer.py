@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Signature explorer: how the Figure 3 designs trade size for accuracy.
+
+Two views, no full-machine simulation needed:
+
+1. *Aliasing microscope* — insert a transaction-shaped set of block
+   addresses into each design at several sizes and measure pure
+   false-positive rates (CONFLICT hits on addresses never inserted).
+2. *Workload lens* — replay the read-set footprints the Raytrace workload
+   generates (including its 550-block traversal tail) and show how many
+   filter bits each design burns, which is why small bit-select signatures
+   hurt exactly the workloads with skewed footprints (Result 3).
+
+Usage::
+
+    python examples/signature_explorer.py
+"""
+
+from repro.common.config import SignatureConfig, SignatureKind
+from repro.common.rng import make_rng
+from repro.harness.report import render_table
+from repro.signatures.factory import make_signature
+
+
+def aliasing_microscope() -> None:
+    rng = make_rng(7, "explorer")
+    designs = [
+        ("BS", SignatureKind.BIT_SELECT, 64),
+        ("DBS", SignatureKind.DOUBLE_BIT_SELECT, 64),
+        ("CBS(1KB)", SignatureKind.COARSE_BIT_SELECT, 1024),
+    ]
+    rows = []
+    for label, kind, gran in designs:
+        for bits in (64, 256, 1024, 2048):
+            for n_blocks in (8, 64, 550):
+                sig = make_signature(SignatureConfig(
+                    kind=kind, bits=bits, granularity=gran))
+                inserted = set()
+                while len(inserted) < n_blocks:
+                    inserted.add(rng.randrange(1 << 24) * 64)
+                for addr in inserted:
+                    sig.insert(addr)
+                false_hits = trials = 0
+                while trials < 4000:
+                    probe = rng.randrange(1 << 24) * 64
+                    if probe in inserted:
+                        continue
+                    trials += 1
+                    false_hits += sig.contains(probe)
+                rows.append((label, bits, n_blocks,
+                             100.0 * false_hits / trials))
+    print(render_table(
+        ["Design", "Bits", "Blocks inserted", "False positives %"], rows,
+        title="Aliasing: false-positive rate vs. size and occupancy"))
+
+
+def workload_lens() -> None:
+    from repro.workloads import Raytrace
+    from repro.workloads.base import OpKind
+
+    wl = Raytrace(num_threads=1, units_per_thread=400, seed=3)
+    rng = make_rng(3, "lens")
+    footprints = []
+    for section in wl.program(0, rng):
+        if section.atomic:
+            blocks = {op.vaddr & ~63 for op in section.ops
+                      if op.kind is OpKind.LOAD}
+            footprints.append(blocks)
+    footprints.sort(key=len)
+    samples = [footprints[0], footprints[len(footprints) // 2],
+               footprints[-1]]
+    rows = []
+    for blocks in samples:
+        for label, kind, gran in (
+                ("BS_64", SignatureKind.BIT_SELECT, 64),
+                ("BS_2Kb", SignatureKind.BIT_SELECT, 64),
+                ("CBS_2Kb", SignatureKind.COARSE_BIT_SELECT, 1024)):
+            bits = 64 if label == "BS_64" else 2048
+            sig = make_signature(SignatureConfig(
+                kind=kind, bits=bits, granularity=gran))
+            for addr in blocks:
+                sig.insert(addr)
+            occupancy = getattr(sig, "popcount", len(blocks))
+            rows.append((len(blocks), label,
+                         f"{occupancy}/{bits}",
+                         f"{100.0 * occupancy / bits:.0f}%"))
+    print(render_table(
+        ["Read-set blocks", "Signature", "Bits set", "Occupancy"], rows,
+        title="Raytrace read-set footprints vs. signature occupancy"))
+    print("\nA 550-block traversal saturates BS_64 (every later check "
+          "aliases),\nwhile CBS's 1 KB macroblocks absorb the contiguous "
+          "run in few bits.")
+
+
+def main() -> None:
+    aliasing_microscope()
+    print()
+    workload_lens()
+
+
+if __name__ == "__main__":
+    main()

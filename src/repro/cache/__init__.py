@@ -1,0 +1,6 @@
+"""Cache substrate: MESI block state and set-associative tag arrays."""
+
+from repro.cache.array import CacheArray
+from repro.cache.block import CacheBlock, MESI
+
+__all__ = ["CacheArray", "CacheBlock", "MESI"]

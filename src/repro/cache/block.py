@@ -1,0 +1,52 @@
+"""Cache block state.
+
+The baseline protocol is MESI (Section 5). Blocks carry optional R/W bits so
+the *original LogTM* baseline (which keeps read/write-set bits in the L1,
+Section 8) can be modeled as an ablation; LogTM-SE itself never sets them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MESI(enum.Enum):
+    """Stable MESI coherence states."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def can_read(self) -> bool:
+        return self is not MESI.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        return self in (MESI.MODIFIED, MESI.EXCLUSIVE)
+
+    @property
+    def is_exclusive(self) -> bool:
+        return self in (MESI.MODIFIED, MESI.EXCLUSIVE)
+
+
+class CacheBlock:
+    """One resident cache line's metadata (tags only; data is functional)."""
+
+    __slots__ = ("addr", "state", "last_use", "r_bit", "w_bit")
+
+    def __init__(self, addr: int, state: MESI) -> None:
+        self.addr = addr
+        self.state = state
+        self.last_use = 0
+        # LogTM-classic read/write-set bits (unused by LogTM-SE).
+        self.r_bit = False
+        self.w_bit = False
+
+    @property
+    def dirty(self) -> bool:
+        return self.state is MESI.MODIFIED
+
+    def __repr__(self) -> str:
+        return f"CacheBlock({self.addr:#x}, {self.state.value})"

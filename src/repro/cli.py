@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Regenerates any of the paper's tables/figures from a shell, without writing
+a script::
+
+    python -m repro table1
+    python -m repro table2 --scale quick
+    python -m repro fig3
+    python -m repro fig4 --scale quick --workloads Cholesky Mp3d
+    python -m repro table3 --scale quick
+    python -m repro victimization --scale quick
+    python -m repro table4
+    python -m repro run BerkeleyDB --threads 16 --units 2 --signature bs \\
+        --bits 2048
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.config import SignatureKind, SyncMode, SystemConfig
+from repro.harness import experiments as E
+from repro.harness.runner import run_workload
+
+
+def _scale(name: str) -> E.ExperimentScale:
+    return E.QUICK if name == "quick" else E.FULL
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=["quick", "full"],
+                        default="quick",
+                        help="experiment size (default: quick)")
+
+
+def _cmd_table1(args) -> int:
+    print(E.render_table1())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    print(E.render_table2(E.table2(_scale(args.scale), seed=args.seed)))
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    print(E.render_figure3(E.figure3(seed=args.seed)))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    cells = E.figure4(_scale(args.scale), seed=args.seed,
+                      workloads=args.workloads)
+    print(E.render_figure4(cells))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    print(E.render_table3(E.table3(_scale(args.scale), seed=args.seed)))
+    return 0
+
+
+def _cmd_victimization(args) -> int:
+    print(E.render_victimization(
+        E.victimization(_scale(args.scale), seed=args.seed)))
+    return 0
+
+
+def _cmd_table4(args) -> int:
+    print(E.render_table4())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.workload not in E.WORKLOAD_CLASSES:
+        print(f"unknown workload {args.workload!r}; choose from "
+              f"{sorted(E.WORKLOAD_CLASSES)}", file=sys.stderr)
+        return 2
+    cfg = SystemConfig.default()
+    if args.locks:
+        cfg = cfg.with_sync(SyncMode.LOCKS)
+    else:
+        cfg = cfg.with_signature(SignatureKind(args.signature),
+                                 bits=args.bits)
+    workload = E.WORKLOAD_CLASSES[args.workload](
+        num_threads=args.threads, units_per_thread=args.units,
+        seed=args.seed)
+    result = run_workload(cfg, workload, seed=args.seed)
+    print(f"workload   : {workload.describe()}")
+    print(f"config     : {'locks' if args.locks else result.config_label}")
+    print(f"cycles     : {result.cycles:,}")
+    print(f"units      : {result.units}")
+    print(f"commits    : {result.commits}")
+    print(f"aborts     : {result.aborts}")
+    print(f"stalls     : {result.stalls}")
+    print(f"fp conflict: {result.false_positive_pct:.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="LogTM-SE reproduction: regenerate the paper's "
+                    "tables and figures.")
+    parser.add_argument("--seed", type=int, default=0xC0FFEE)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: system parameters"
+                   ).set_defaults(fn=_cmd_table1)
+    p = sub.add_parser("table2", help="Table 2: benchmark characteristics")
+    _add_scale(p)
+    p.set_defaults(fn=_cmd_table2)
+    sub.add_parser("fig3", help="Figure 3: signature designs"
+                   ).set_defaults(fn=_cmd_fig3)
+    p = sub.add_parser("fig4", help="Figure 4: speedup vs locks")
+    _add_scale(p)
+    p.add_argument("--workloads", nargs="+", default=None,
+                   choices=sorted(E.WORKLOAD_CLASSES))
+    p.set_defaults(fn=_cmd_fig4)
+    p = sub.add_parser("table3", help="Table 3: signature size impact")
+    _add_scale(p)
+    p.set_defaults(fn=_cmd_table3)
+    p = sub.add_parser("victimization", help="Result 4: victimization")
+    _add_scale(p)
+    p.set_defaults(fn=_cmd_victimization)
+    sub.add_parser("table4", help="Table 4: virtualization comparison"
+                   ).set_defaults(fn=_cmd_table4)
+
+    p = sub.add_parser("run", help="run one workload on the Table 1 CMP")
+    p.add_argument("workload", help="workload name (e.g. BerkeleyDB)")
+    p.add_argument("--threads", type=int, default=32)
+    p.add_argument("--units", type=int, default=2)
+    p.add_argument("--signature", default="perfect",
+                   choices=[k.value for k in SignatureKind])
+    p.add_argument("--bits", type=int, default=2048)
+    p.add_argument("--locks", action="store_true",
+                   help="run the lock baseline instead of transactions")
+    p.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,351 @@
+"""MESI directory protocol with LogTM sticky states (Section 5).
+
+The directory lives logically beside the (inclusive) shared L2: each entry
+records an exclusive-owner pointer, a sharer bit-vector, and the LogTM-SE
+extensions — a *sticky* set of cores that replaced the block while it was
+(possibly) in a local transaction's signature, and the lost-directory-info /
+check-all flags used after L2 victimization.
+
+Protocol simplification (see DESIGN.md §5): each coherence transaction holds
+a per-entry lock from request arrival to completion, so there are no
+transient-state races. NACKed requesters release the entry and retry later,
+exactly like LogTM's stall-and-retry.
+
+Request walkthrough (GETM from core R):
+
+1. R -> home bank (grid hops), directory access latency.
+2. L2 tag lookup; on a miss, memory latency and an L2 refill whose victim may
+   lose directory info (Section 5's broadcast-rebuild case).
+3. If the entry lost info or is in check-all state: broadcast, every core
+   checks its signatures; otherwise forward only to the owner, sharers, and
+   sticky cores.
+4. Any signature hit with a matching ASID -> NACK (the result names the
+   blockers so the requester can run LogTM's deadlock-avoidance policy).
+5. Otherwise invalidate sharers/owner, clean satisfied sticky state, record
+   R as owner, and grant M (E/S for GETS as appropriate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.cache.array import CacheArray
+from repro.cache.block import MESI
+from repro.common.config import SystemConfig
+from repro.common.stats import StatsRegistry
+from repro.coherence.fabric import CoherenceFabric
+from repro.coherence.msgs import Blocker, CoherenceResult, Timestamp
+from repro.interconnect.network import Network
+from repro.mem.address import AddressMap
+from repro.sim.resources import SimLock
+
+
+class DirectoryEntry:
+    """Directory state for one block."""
+
+    __slots__ = ("owner", "sharers", "sticky", "lost_info", "must_check_all",
+                 "lock")
+
+    def __init__(self, block_addr: int) -> None:
+        self.owner: Optional[int] = None
+        self.sharers: Set[int] = set()
+        self.sticky: Set[int] = set()
+        self.lost_info = False
+        self.must_check_all = False
+        self.lock = SimLock(f"dir[{block_addr:#x}]")
+
+    @property
+    def present_anywhere(self) -> bool:
+        return self.owner is not None or bool(self.sharers) or bool(self.sticky)
+
+    def forward_targets(self, is_write: bool) -> Set[int]:
+        """Cores whose signatures must be checked for this request."""
+        targets = set(self.sticky)
+        if self.owner is not None:
+            targets.add(self.owner)
+        if is_write:
+            # Invalidations reach every sharer; each checks read+write sets.
+            targets |= self.sharers
+        return targets
+
+
+class DirectoryFabric(CoherenceFabric):
+    """Banked L2 + MESI directory + sticky states."""
+
+    def __init__(self, cfg: SystemConfig, network: Network,
+                 stats: StatsRegistry) -> None:
+        super().__init__()
+        self.cfg = cfg
+        self.network = network
+        self.stats = stats
+        self.amap = AddressMap(block_bytes=cfg.block_bytes,
+                               page_bytes=cfg.page_bytes,
+                               num_banks=cfg.l2_banks)
+        self.l2 = CacheArray(cfg.l2, name="L2")
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self._use_sticky = cfg.tm.use_sticky_states
+        # Counters surfaced in the tables.
+        self._c_requests = stats.counter("coherence.requests")
+        self._c_nacks = stats.counter("coherence.nacks")
+        self._c_fwd = stats.counter("coherence.forwards")
+        self._c_bcast = stats.counter("coherence.broadcast_rebuilds")
+        self._c_sticky_set = stats.counter("coherence.sticky_created")
+        self._c_sticky_clean = stats.counter("coherence.sticky_cleaned")
+        self._c_l2_evict_tx = stats.counter("victimization.l2_tx")
+        self._c_l1_evict_tx = stats.counter("victimization.l1_tx")
+        self._c_mem = stats.counter("coherence.memory_fetches")
+
+    def _entry(self, block_addr: int) -> DirectoryEntry:
+        entry = self._entries.get(block_addr)
+        if entry is None:
+            entry = DirectoryEntry(block_addr)
+            self._entries[block_addr] = entry
+        return entry
+
+    def entry_view(self, block_addr: int) -> DirectoryEntry:
+        """Inspection hook for tests (creates the entry if absent)."""
+        return self._entry(block_addr)
+
+    # ------------------------------------------------------------------
+    # L2 / memory access
+    # ------------------------------------------------------------------
+
+    def _l2_access(self, block_addr: int):
+        """Charge L2 hit or memory fetch latency; handle L2 victimization."""
+        if self.l2.lookup(block_addr) is not None:
+            yield self.cfg.l2.latency
+            return
+        self._c_mem.add()
+        yield self.cfg.memory_latency
+        _block, victim = self.l2.insert(block_addr, MESI.SHARED)
+        if victim is not None:
+            self._l2_victimized(victim.addr)
+
+    def _l2_victimized(self, victim_addr: int) -> None:
+        """An L2 replacement dropped this block's directory information.
+
+        Inclusion forces L1 copies out; if the block was covered by any
+        signature the information loss matters and subsequent requests must
+        broadcast (Section 5). Sticky cores also become invisible, which the
+        lost-info broadcast compensates for.
+        """
+        entry = self._entries.get(victim_addr)
+        if entry is None or not entry.present_anywhere:
+            return
+        transactional = bool(entry.sticky)
+        holders = set(entry.sharers)
+        if entry.owner is not None:
+            holders.add(entry.owner)
+        for core_id in holders:
+            port = self._ports.get(core_id)
+            if port is None:
+                continue
+            if port.holds_transactional(victim_addr):
+                transactional = True
+            port.invalidate_block(victim_addr)
+        entry.owner = None
+        entry.sharers.clear()
+        entry.sticky.clear()
+        entry.lost_info = True
+        if transactional:
+            self._c_l2_evict_tx.add()
+
+    # ------------------------------------------------------------------
+    # Conflict checks
+    # ------------------------------------------------------------------
+
+    def _check(self, cores: Iterable[int], requester_core: int,
+               requester_thread: int, block_addr: int, is_write: bool,
+               asid: int, requester_ts: Optional[Timestamp],
+               owner: Optional[int] = None) -> List[Blocker]:
+        """Forward the request to each target core.
+
+        The signature check and the coherence action (invalidation for a
+        GETM, downgrade of the owner for a GETS) are applied *atomically
+        per target*, exactly as the forwarded message does in hardware. A
+        deferred invalidation would open a window where a sharer's L1 hit
+        reads a doomed copy after its signature was found clean — a missed
+        conflict (this bug is real: it loses linked-list inserts).
+
+        A target that NACKs keeps its copy; targets already processed may
+        have lost theirs, which is harmless — they simply re-fetch, and
+        the re-fetch serializes behind this entry's lock.
+        """
+        blockers: List[Blocker] = []
+        for core_id in sorted(set(cores)):
+            if core_id == requester_core:
+                # Same-core (SMT sibling) conflicts are detected at access
+                # time by the core itself, before the miss is issued.
+                continue
+            port = self._ports.get(core_id)
+            if port is None:
+                continue
+            self._c_fwd.add()
+            found = port.check_conflicts(
+                block_addr, is_write, exclude_thread=requester_thread,
+                asid=asid, requester_ts=requester_ts)
+            if found:
+                blockers.extend(found)
+            elif is_write:
+                port.invalidate_block(block_addr)
+            elif core_id == owner:
+                port.downgrade_block(block_addr)
+        return blockers
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+
+    def request(self, requester_core: int, requester_thread: int,
+                requester_ts: Optional[Timestamp], block_addr: int,
+                is_write: bool, asid: int):
+        entry = self._entry(block_addr)
+        yield from entry.lock.acquire()
+        try:
+            result = yield from self._request_locked(
+                requester_core, requester_thread, requester_ts,
+                block_addr, is_write, asid, entry)
+            return result
+        finally:
+            entry.lock.release()
+
+    def _request_locked(self, requester_core: int, requester_thread: int,
+                        requester_ts: Optional[Timestamp], block_addr: int,
+                        is_write: bool, asid: int, entry: DirectoryEntry):
+        self._c_requests.add()
+        bank = self.amap.bank_of(block_addr)
+        msg = "GETM" if is_write else "GETS"
+        yield self.network.core_to_bank(requester_core, bank, msg)
+        yield self.cfg.directory_latency
+
+        if entry.lost_info or entry.must_check_all:
+            blockers = yield from self._broadcast_check(
+                requester_core, requester_thread, requester_ts,
+                block_addr, is_write, asid, entry, bank)
+        else:
+            blockers = yield from self._targeted_check(
+                requester_core, requester_thread, requester_ts,
+                block_addr, is_write, asid, entry, bank)
+
+        if blockers:
+            # NACK determination needs only directory state and remote
+            # signature checks — no L2 data-array or DRAM access — so a
+            # NACKed request occupies the directory entry only briefly.
+            self._c_nacks.add()
+            yield self.network.bank_to_core(bank, requester_core, "NACK")
+            return CoherenceResult(granted=False, blockers=blockers)
+
+        yield from self._l2_access(block_addr)
+        yield self.network.bank_to_core(bank, requester_core, "DATA")
+        # Apply the grant *after* the final yield: the requester resumes in
+        # the same simulation event, so its L1 install is atomic with this
+        # directory-state update (no window for a competing request).
+        grant_state = self._apply_grant(requester_core, block_addr,
+                                        is_write, entry)
+        return CoherenceResult(granted=True, grant_state=grant_state)
+
+    def _broadcast_check(self, requester_core: int, requester_thread: int,
+                         requester_ts: Optional[Timestamp], block_addr: int,
+                         is_write: bool, asid: int, entry: DirectoryEntry,
+                         bank: int):
+        """Rebuild path after L2 victimization: check every L1's signatures."""
+        self._c_bcast.add()
+        yield self.network.broadcast_from_bank(bank, "rebuild")
+        all_cores = list(self._ports)
+        blockers = self._check(all_cores, requester_core, requester_thread,
+                               block_addr, is_write, asid, requester_ts,
+                               owner=entry.owner)
+        # The broadcast responses rebuild the directory state. After the L2
+        # eviction invalidated L1 copies, nobody caches the block; what can
+        # remain is signature coverage, which NACKs above.
+        entry.lost_info = False
+        entry.must_check_all = bool(blockers)
+        return blockers
+
+    def _targeted_check(self, requester_core: int, requester_thread: int,
+                        requester_ts: Optional[Timestamp], block_addr: int,
+                        is_write: bool, asid: int, entry: DirectoryEntry,
+                        bank: int):
+        """Normal path: forward only where the directory points."""
+        targets = entry.forward_targets(is_write)
+        targets.discard(requester_core)
+        if targets:
+            # Forwards fan out in parallel: latency is the worst
+            # bank->target->requester path; counters record each message.
+            fwd = max(self.network.bank_to_core(bank, t, "fwd")
+                      for t in targets)
+            yield fwd
+        blockers = self._check(targets, requester_core, requester_thread,
+                               block_addr, is_write, asid, requester_ts,
+                               owner=entry.owner)
+        if not blockers and targets:
+            resp = max(self.network.core_to_core(t, requester_core, "resp")
+                       for t in targets)
+            yield resp
+        return blockers
+
+    def _apply_grant(self, requester_core: int, block_addr: int,
+                     is_write: bool, entry: DirectoryEntry) -> MESI:
+        """Commit the directory-state transition for a granted request.
+
+        Pure bookkeeping: the L1 invalidations/downgrades were applied
+        atomically with each target's signature check in ``_check``.
+        """
+        if entry.sticky:
+            # The request succeeded, so the sticky forwarding obligation is
+            # discharged ("a block leaves this state when the request
+            # finally succeeds").
+            self._c_sticky_clean.add(len(entry.sticky))
+            entry.sticky.clear()
+        entry.must_check_all = False
+        if is_write:
+            entry.sharers.clear()
+            entry.owner = requester_core
+            return MESI.MODIFIED
+        # GETS
+        if entry.owner is not None and entry.owner != requester_core:
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+        if not entry.sharers:
+            entry.owner = requester_core
+            return MESI.EXCLUSIVE
+        entry.sharers.add(requester_core)
+        return MESI.SHARED
+
+    def note_relocated_block(self, block_addr: int) -> None:
+        """Force signature checks for a block relocated by paging."""
+        self._entry(block_addr).must_check_all = True
+
+    # ------------------------------------------------------------------
+    # L1 replacement notifications
+    # ------------------------------------------------------------------
+
+    def l1_evicted(self, core_id: int, block_addr: int, state: MESI,
+                   transactional: bool) -> None:
+        entry = self._entry(block_addr)
+        if transactional and self._use_sticky:
+            # Sticky replacement: leave the directory state unchanged so
+            # conflicting requests keep being forwarded to this core, and
+            # remember the obligation. (With sticky states disabled — an
+            # ablation — the eviction is handled like a non-transactional
+            # one, which loses isolation for overflowed data; the ablation
+            # benchmark quantifies how often that would bite.)
+            entry.sticky.add(core_id)
+            self._c_sticky_set.add()
+            self._c_l1_evict_tx.add()
+            return
+        if transactional:
+            self._c_l1_evict_tx.add()
+        if state is MESI.MODIFIED:
+            # Writeback: data is functional, so only directory state moves.
+            if entry.owner == core_id:
+                entry.owner = None
+        elif state is MESI.EXCLUSIVE:
+            # E replacements send a control message updating the pointer.
+            if entry.owner == core_id:
+                entry.owner = None
+        else:
+            # S replacements are completely silent (Section 5): the
+            # directory may retain a stale sharer, and a later invalidation
+            # to a non-resident block is harmless.
+            pass

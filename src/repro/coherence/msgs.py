@@ -1,0 +1,105 @@
+"""Coherence request/response vocabulary.
+
+The protocol layer talks to cores through the :class:`ConflictPort`
+interface: the directory (or snooping bus) forwards a request to a core,
+which checks the signatures of its thread contexts and answers with zero or
+more :class:`Blocker` records (a non-empty list means NACK). Results carry
+enough provenance — blocker timestamps, false-positive flags — for LogTM's
+conflict-resolution policy and for Table 3's accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cache.block import MESI
+
+#: Transaction timestamp: (begin cycle, global thread id). Lower is older.
+Timestamp = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Blocker:
+    """One thread context whose signature NACKed a request."""
+
+    core_id: int
+    thread_id: int                 # global thread-context id
+    timestamp: Optional[Timestamp]  # None for a non-transactional blocker
+    false_positive: bool            # the signature hit had no real overlap
+
+    def older_than(self, ts: Optional[Timestamp]) -> bool:
+        """Whether this blocker's transaction began before ``ts``."""
+        if self.timestamp is None:
+            return False
+        if ts is None:
+            return True
+        return self.timestamp < ts
+
+
+@dataclass
+class CoherenceResult:
+    """Outcome of one coherence request attempt."""
+
+    granted: bool
+    grant_state: MESI = MESI.INVALID   # state the requester may install
+    blockers: List[Blocker] = field(default_factory=list)
+    latency: int = 0                   # cycles charged (informational)
+
+    @property
+    def nacked(self) -> bool:
+        return not self.granted
+
+    @property
+    def all_false_positive(self) -> bool:
+        """The whole NACK was due to signature aliasing (no real conflict)."""
+        return bool(self.blockers) and all(
+            b.false_positive for b in self.blockers)
+
+
+class ConflictPort(abc.ABC):
+    """What the protocol needs from a core: checks and cache-state updates."""
+
+    @property
+    @abc.abstractmethod
+    def core_id(self) -> int: ...
+
+    @abc.abstractmethod
+    def check_conflicts(self, block_addr: int, is_write: bool,
+                        exclude_thread: Optional[int], asid: int,
+                        requester_ts: Optional[Timestamp]) -> List[Blocker]:
+        """Signature-check an incoming request against local thread contexts.
+
+        ``exclude_thread`` is the requesting context (never conflicts with
+        itself). Implementations must honor the ASID filter (Section 2) and,
+        per LogTM's policy, set the blocker transaction's ``possible_cycle``
+        flag when NACKing an older requester.
+        """
+
+    @abc.abstractmethod
+    def invalidate_block(self, block_addr: int) -> bool:
+        """Drop the block from this core's L1; True if it was resident."""
+
+    @abc.abstractmethod
+    def downgrade_block(self, block_addr: int) -> bool:
+        """M/E -> S on this core's L1; True if it was resident exclusive."""
+
+    def mark_abort(self, thread_id: int) -> bool:
+        """Contention-manager hook: doom a local thread's transaction.
+
+        The transaction aborts at its next transactional instruction
+        boundary (asynchronous aborts are impossible — a transaction
+        mid-escape-action cannot be unrolled). Returns True if the thread
+        is here and was in a transaction. Default: not supported.
+        """
+        return False
+
+    @abc.abstractmethod
+    def holds_transactional(self, block_addr: int) -> bool:
+        """Conservative test: may this block be in a local signature?
+
+        This is the check the evicting L1 performs to decide whether a
+        replacement must leave a *sticky* directory state. It consults the
+        (possibly aliasing) signatures, exactly as hardware would.
+        """

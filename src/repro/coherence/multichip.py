@@ -1,0 +1,452 @@
+"""Multiple-CMP coherence (Section 7, "Multiple CMPs").
+
+Several CMPs, each with its own shared L2 and intra-chip directory, are
+connected by a reliable point-to-point network; inter-chip coherence uses a
+full-map directory at memory ("a few state bits and [one] sharer bit per
+chip", storable in ECC-freed bits [23]). LogTM-SE extends it with NACKs on
+transaction conflicts and sticky states at *both* levels:
+
+* a core that evicts a transactional block leaves a sticky entry in its
+  chip's directory (as in the single-CMP system);
+* a chip whose L2 victimizes a transactionally-covered block writes it back
+  to memory and the memory directory enters **sticky-M** for that chip —
+  subsequent remote requests are still forwarded there for signature
+  checks.
+
+Protocol hierarchy (two-level MESI):
+
+1. A request first consults its chip's state. If the chip holds sufficient
+   *chip-level rights* (M for writes; M or S for reads), the request is
+   satisfied entirely on-chip, exactly like the single-CMP directory —
+   including intra-chip signature NACKs.
+2. Otherwise it travels to the memory directory, which forwards conflict
+   checks to the owner/sharer/sticky chips; each chip checks the
+   signatures of all its cores (its own wired-OR of per-core results).
+   Any hit NACKs the request; otherwise chip-level rights migrate and the
+   requester's chip completes the fill.
+
+The same blocking-transaction simplification as the single-CMP directory
+applies: one global lock per block serializes same-block transactions, so
+no transient-state races exist (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cache.array import CacheArray
+from repro.cache.block import MESI
+from repro.coherence.fabric import CoherenceFabric
+from repro.coherence.msgs import Blocker, CoherenceResult, Timestamp
+from repro.common.config import SystemConfig
+from repro.common.stats import StatsRegistry
+from repro.interconnect.network import Network
+from repro.mem.address import AddressMap
+from repro.sim.resources import SimLock
+
+
+class ChipEntry:
+    """Intra-chip directory state for one block on one chip."""
+
+    __slots__ = ("rights", "owner", "sharers", "sticky")
+
+    def __init__(self) -> None:
+        #: Chip-level rights: 'M' (exclusive chip), 'S' (shared), or None.
+        self.rights: Optional[str] = None
+        self.owner: Optional[int] = None   # global core id with M/E
+        self.sharers: Set[int] = set()     # global core ids with S
+        self.sticky: Set[int] = set()      # cores with sticky obligations
+
+    @property
+    def present(self) -> bool:
+        return (self.rights is not None or self.owner is not None
+                or bool(self.sharers) or bool(self.sticky))
+
+
+class MemDirEntry:
+    """Full-map memory-directory state for one block."""
+
+    __slots__ = ("owner_chip", "sharer_chips", "sticky_chips", "lock")
+
+    def __init__(self, block_addr: int) -> None:
+        self.owner_chip: Optional[int] = None
+        self.sharer_chips: Set[int] = set()
+        #: Chips whose L2 victimized the block while transactionally
+        #: covered: memory holds the data ("sticky M"), but requests are
+        #: still forwarded for signature checks.
+        self.sticky_chips: Set[int] = set()
+        self.lock = SimLock(f"memdir[{block_addr:#x}]")
+
+
+class MultiChipFabric(CoherenceFabric):
+    """Two-level directory coherence for a multiple-CMP system."""
+
+    def __init__(self, cfg: SystemConfig, networks: List[Network],
+                 stats: StatsRegistry) -> None:
+        super().__init__()
+        if cfg.num_chips < 2:
+            raise ValueError("MultiChipFabric needs at least two chips")
+        self.cfg = cfg
+        self.networks = networks  # one intra-chip network per chip
+        self.stats = stats
+        self.amap = AddressMap(block_bytes=cfg.block_bytes,
+                               page_bytes=cfg.page_bytes,
+                               num_banks=cfg.l2_banks)
+        self.l2s = [CacheArray(cfg.l2, name=f"L2[chip{c}]")
+                    for c in range(cfg.num_chips)]
+        self._chip_entries: List[Dict[int, ChipEntry]] = [
+            {} for _ in range(cfg.num_chips)]
+        self._mem_entries: Dict[int, MemDirEntry] = {}
+        self._use_sticky = cfg.tm.use_sticky_states
+        self._c_requests = stats.counter("coherence.requests")
+        self._c_nacks = stats.counter("coherence.nacks")
+        self._c_fwd = stats.counter("coherence.forwards")
+        self._c_interchip = stats.counter("coherence.interchip_requests")
+        self._c_chip_sticky = stats.counter("coherence.chip_sticky_created")
+        self._c_sticky_set = stats.counter("coherence.sticky_created")
+        self._c_sticky_clean = stats.counter("coherence.sticky_cleaned")
+        self._c_l1_evict_tx = stats.counter("victimization.l1_tx")
+        self._c_l2_evict_tx = stats.counter("victimization.l2_tx")
+        self._c_mem = stats.counter("coherence.memory_fetches")
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+
+    def chip_of(self, core_id: int) -> int:
+        return core_id // self.cfg.num_cores
+
+    def _local_core(self, core_id: int) -> int:
+        """Core index within its chip (for the per-chip network)."""
+        return core_id % self.cfg.num_cores
+
+    def _chip_entry(self, chip: int, block_addr: int) -> ChipEntry:
+        entry = self._chip_entries[chip].get(block_addr)
+        if entry is None:
+            entry = ChipEntry()
+            self._chip_entries[chip][block_addr] = entry
+        return entry
+
+    def _mem_entry(self, block_addr: int) -> MemDirEntry:
+        entry = self._mem_entries.get(block_addr)
+        if entry is None:
+            entry = MemDirEntry(block_addr)
+            self._mem_entries[block_addr] = entry
+        return entry
+
+    def chip_entry_view(self, chip: int, block_addr: int) -> ChipEntry:
+        return self._chip_entry(chip, block_addr)
+
+    def mem_entry_view(self, block_addr: int) -> MemDirEntry:
+        return self._mem_entry(block_addr)
+
+    # ------------------------------------------------------------------
+    # Conflict checks
+    # ------------------------------------------------------------------
+
+    def _check_cores(self, core_ids, requester_core: int,
+                     requester_thread: int, block_addr: int, is_write: bool,
+                     asid: int, requester_ts: Optional[Timestamp],
+                     owner: Optional[int] = None) -> List[Blocker]:
+        """Per-core check with the coherence action applied atomically
+        (see the single-CMP directory for why deferral is a real bug)."""
+        blockers: List[Blocker] = []
+        for core_id in sorted(set(core_ids)):
+            if core_id == requester_core:
+                continue
+            port = self._ports.get(core_id)
+            if port is None:
+                continue
+            self._c_fwd.add()
+            found = port.check_conflicts(
+                block_addr, is_write, exclude_thread=requester_thread,
+                asid=asid, requester_ts=requester_ts)
+            if found:
+                blockers.extend(found)
+            elif is_write:
+                port.invalidate_block(block_addr)
+            elif core_id == owner:
+                port.downgrade_block(block_addr)
+        return blockers
+
+    def _chip_check(self, chip: int, requester_core: int,
+                    requester_thread: int, block_addr: int, is_write: bool,
+                    asid: int, requester_ts: Optional[Timestamp]
+                    ) -> List[Blocker]:
+        """A chip's wired-OR signature check across all its cores.
+
+        Inter-chip forwards cannot rely on the remote chip's (possibly
+        stale) intra-chip pointers for conflict coverage, so the whole
+        chip answers — this is the chip-level NACK of Section 7.
+        """
+        first = chip * self.cfg.num_cores
+        entry = self._chip_entry(chip, block_addr)
+        return self._check_cores(range(first, first + self.cfg.num_cores),
+                                 requester_core, requester_thread,
+                                 block_addr, is_write, asid, requester_ts,
+                                 owner=entry.owner)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    def request(self, requester_core: int, requester_thread: int,
+                requester_ts: Optional[Timestamp], block_addr: int,
+                is_write: bool, asid: int):
+        mem_entry = self._mem_entry(block_addr)
+        yield from mem_entry.lock.acquire()
+        try:
+            result = yield from self._request_locked(
+                requester_core, requester_thread, requester_ts,
+                block_addr, is_write, asid, mem_entry)
+            return result
+        finally:
+            mem_entry.lock.release()
+
+    def _request_locked(self, requester_core: int, requester_thread: int,
+                        requester_ts: Optional[Timestamp], block_addr: int,
+                        is_write: bool, asid: int, mem_entry: MemDirEntry):
+        self._c_requests.add()
+        chip = self.chip_of(requester_core)
+        net = self.networks[chip]
+        bank = self.amap.bank_of(block_addr)
+        entry = self._chip_entry(chip, block_addr)
+        yield net.core_to_bank(self._local_core(requester_core), bank,
+                               "GETM" if is_write else "GETS")
+        yield self.cfg.directory_latency
+
+        sufficient = (entry.rights == "M" if is_write
+                      else entry.rights in ("M", "S"))
+        if sufficient:
+            result = yield from self._intra_chip(
+                chip, requester_core, requester_thread, requester_ts,
+                block_addr, is_write, asid, entry, bank)
+            return result
+        result = yield from self._inter_chip(
+            chip, requester_core, requester_thread, requester_ts,
+            block_addr, is_write, asid, entry, mem_entry, bank)
+        return result
+
+    def _intra_chip(self, chip: int, requester_core: int,
+                    requester_thread: int,
+                    requester_ts: Optional[Timestamp], block_addr: int,
+                    is_write: bool, asid: int, entry: ChipEntry, bank: int):
+        """The chip already holds sufficient rights: single-CMP behaviour."""
+        net = self.networks[chip]
+        targets = set(entry.sticky)
+        if entry.owner is not None:
+            targets.add(entry.owner)
+        if is_write:
+            targets |= entry.sharers
+        targets.discard(requester_core)
+        if targets:
+            yield max(net.bank_to_core(bank, self._local_core(t), "fwd")
+                      for t in targets)
+        blockers = self._check_cores(targets, requester_core,
+                                     requester_thread, block_addr, is_write,
+                                     asid, requester_ts, owner=entry.owner)
+        if blockers:
+            self._c_nacks.add()
+            yield net.bank_to_core(bank, self._local_core(requester_core),
+                                   "NACK")
+            return CoherenceResult(granted=False, blockers=blockers)
+        if self.l2s[chip].lookup(block_addr) is not None:
+            yield self.cfg.l2.latency
+        elif entry.owner is not None:
+            yield net.core_to_core(self._local_core(entry.owner),
+                                   self._local_core(requester_core), "data")
+        else:
+            self._c_mem.add()
+            yield self.cfg.memory_latency
+            self._l2_fill(chip, block_addr)
+        yield net.bank_to_core(bank, self._local_core(requester_core),
+                               "DATA")
+        grant = self._apply_chip_grant(chip, requester_core, block_addr,
+                                       is_write, entry)
+        return CoherenceResult(granted=True, grant_state=grant)
+
+    def _inter_chip(self, chip: int, requester_core: int,
+                    requester_thread: int,
+                    requester_ts: Optional[Timestamp], block_addr: int,
+                    is_write: bool, asid: int, entry: ChipEntry,
+                    mem_entry: MemDirEntry, bank: int):
+        """Escalate to the full-map memory directory."""
+        self._c_interchip.add()
+        net = self.networks[chip]
+        yield self.cfg.interchip_latency
+        yield self.cfg.memory_directory_latency
+
+        # Chips to check: the owner chip, sharer chips (for writes), and
+        # any sticky chips — but never the requester's own chip's *remote*
+        # role (its local conflicts were checked intra-chip or by SMT).
+        target_chips = set(mem_entry.sticky_chips)
+        if mem_entry.owner_chip is not None:
+            target_chips.add(mem_entry.owner_chip)
+        if is_write:
+            target_chips |= mem_entry.sharer_chips
+        target_chips.discard(chip)
+
+        blockers: List[Blocker] = []
+        for remote in sorted(target_chips):
+            yield self.cfg.interchip_latency
+            blockers.extend(self._chip_check(
+                remote, requester_core, requester_thread, block_addr,
+                is_write, asid, requester_ts))
+        # The requester's own chip may still hold intra-chip conflicts
+        # (e.g. another local core's signature) even without chip rights.
+        local_targets = set(entry.sticky)
+        if entry.owner is not None:
+            local_targets.add(entry.owner)
+        if is_write:
+            local_targets |= entry.sharers
+        local_targets.discard(requester_core)
+        blockers.extend(self._check_cores(
+            local_targets, requester_core, requester_thread, block_addr,
+            is_write, asid, requester_ts, owner=entry.owner))
+
+        if blockers:
+            self._c_nacks.add()
+            yield self.cfg.interchip_latency
+            return CoherenceResult(granted=False, blockers=blockers)
+
+        # Migrate chip-level rights.
+        if is_write:
+            losers = set(mem_entry.sharer_chips)
+            if mem_entry.owner_chip is not None:
+                losers.add(mem_entry.owner_chip)
+            losers.discard(chip)
+            for remote in sorted(losers):
+                self._strip_chip(remote, block_addr)
+            mem_entry.sharer_chips.clear()
+            mem_entry.owner_chip = chip
+            entry.rights = "M"
+        else:
+            if mem_entry.owner_chip is not None and \
+                    mem_entry.owner_chip != chip:
+                self._demote_chip(mem_entry.owner_chip, block_addr)
+                mem_entry.sharer_chips.add(mem_entry.owner_chip)
+                mem_entry.owner_chip = None
+            if mem_entry.sharer_chips or mem_entry.owner_chip == chip:
+                mem_entry.sharer_chips.add(chip)
+                entry.rights = "S"
+            else:
+                mem_entry.owner_chip = chip
+                entry.rights = "M"
+        if mem_entry.sticky_chips:
+            self._c_sticky_clean.add(len(mem_entry.sticky_chips))
+            mem_entry.sticky_chips.clear()
+
+        self._c_mem.add()
+        yield self.cfg.memory_latency  # data from memory / remote L2
+        yield self.cfg.interchip_latency
+        self._l2_fill(chip, block_addr)
+        grant = self._apply_chip_grant(chip, requester_core, block_addr,
+                                       is_write, entry)
+        return CoherenceResult(granted=True, grant_state=grant)
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+
+    def _apply_chip_grant(self, chip: int, requester_core: int,
+                          block_addr: int, is_write: bool,
+                          entry: ChipEntry) -> MESI:
+        """Bookkeeping only — port invalidations/downgrades happened
+        atomically with the signature checks in ``_check_cores``."""
+        if entry.sticky:
+            self._c_sticky_clean.add(len(entry.sticky))
+            entry.sticky.clear()
+        if is_write:
+            entry.sharers.clear()
+            entry.owner = requester_core
+            return MESI.MODIFIED
+        if entry.owner is not None and entry.owner != requester_core:
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+        if not entry.sharers and entry.rights == "M":
+            # An E grant needs *chip-level* exclusivity: with only S
+            # rights another chip may hold copies, and a silent E->M
+            # upgrade here would write without global permission.
+            entry.owner = requester_core
+            return MESI.EXCLUSIVE
+        entry.sharers.add(requester_core)
+        return MESI.SHARED
+
+    def _strip_chip(self, chip: Optional[int], block_addr: int) -> None:
+        """Remove all of a chip's copies (remote GETM invalidation)."""
+        if chip is None:
+            return
+        entry = self._chip_entry(chip, block_addr)
+        for core_id in list(entry.sharers):
+            self._ports[core_id].invalidate_block(block_addr)
+        if entry.owner is not None:
+            self._ports[entry.owner].invalidate_block(block_addr)
+        entry.sharers.clear()
+        entry.owner = None
+        entry.rights = None
+        self.l2s[chip].invalidate(block_addr)
+
+    def _demote_chip(self, chip: int, block_addr: int) -> None:
+        """Chip-level M -> S (remote GETS)."""
+        entry = self._chip_entry(chip, block_addr)
+        if entry.owner is not None:
+            self._ports[entry.owner].downgrade_block(block_addr)
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+        entry.rights = "S"
+
+    def _l2_fill(self, chip: int, block_addr: int) -> None:
+        _blk, victim = self.l2s[chip].insert(block_addr, MESI.SHARED)
+        if victim is not None:
+            self._chip_l2_victimized(chip, victim.addr)
+
+    def _chip_l2_victimized(self, chip: int, victim_addr: int) -> None:
+        """An L2 eviction: transactionally-covered blocks go sticky-M at
+        the memory directory (Section 7's writeback-to-sticky-M)."""
+        entry = self._chip_entries[chip].get(victim_addr)
+        transactional = False
+        if entry is not None and entry.present:
+            holders = set(entry.sharers)
+            if entry.owner is not None:
+                holders.add(entry.owner)
+            transactional = bool(entry.sticky)
+            for core_id in holders:
+                port = self._ports.get(core_id)
+                if port is None:
+                    continue
+                if port.holds_transactional(victim_addr):
+                    transactional = True
+                port.invalidate_block(victim_addr)
+            entry.owner = None
+            entry.sharers.clear()
+            entry.sticky.clear()
+            entry.rights = None
+        mem_entry = self._mem_entry(victim_addr)
+        mem_entry.sharer_chips.discard(chip)
+        if mem_entry.owner_chip == chip:
+            mem_entry.owner_chip = None
+        if transactional:
+            self._c_l2_evict_tx.add()
+            if self._use_sticky:
+                mem_entry.sticky_chips.add(chip)
+                self._c_chip_sticky.add()
+
+    # ------------------------------------------------------------------
+    # L1 replacement notifications
+    # ------------------------------------------------------------------
+
+    def l1_evicted(self, core_id: int, block_addr: int, state: MESI,
+                   transactional: bool) -> None:
+        chip = self.chip_of(core_id)
+        entry = self._chip_entry(chip, block_addr)
+        if transactional and self._use_sticky:
+            entry.sticky.add(core_id)
+            self._c_sticky_set.add()
+            self._c_l1_evict_tx.add()
+            return
+        if transactional:
+            self._c_l1_evict_tx.add()
+        if state in (MESI.MODIFIED, MESI.EXCLUSIVE):
+            if entry.owner == core_id:
+                entry.owner = None
+        # S replacements stay silent, as in the single-CMP protocol.

@@ -1,0 +1,9 @@
+"""Shared utilities: configuration, errors, statistics, deterministic RNG."""
+
+from repro.common.config import SystemConfig, TMConfig, SignatureConfig
+from repro.common.errors import ReproError
+from repro.common.presets import cmp_preset, scaling_series, wide_smt_preset
+from repro.common.stats import StatsRegistry
+
+__all__ = ["ReproError", "SignatureConfig", "StatsRegistry", "SystemConfig",
+           "TMConfig", "cmp_preset", "scaling_series", "wide_smt_preset"]

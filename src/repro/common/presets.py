@@ -1,0 +1,52 @@
+"""Machine presets beyond the Table 1 baseline.
+
+The paper evaluates one 16-core/32-context CMP; these presets support the
+natural follow-on questions — how do the results scale with core count and
+SMT width? — plus the small machines the tests use. All derive from the
+Table 1 latencies; only the geometry changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator, Tuple
+
+from repro.common.config import CacheConfig, SystemConfig
+
+
+def cmp_preset(num_cores: int, threads_per_core: int = 2) -> SystemConfig:
+    """A Table 1-style CMP scaled to a different core count.
+
+    The grid grows to fit; the shared L2 keeps the byte capacity of the
+    baseline (scaling questions should vary one thing at a time), but the
+    bank count tracks the core count so bank distance stays comparable.
+    """
+    cols = 1
+    while cols * cols < num_cores:
+        cols += 1
+    rows = (num_cores + cols - 1) // cols
+    return replace(
+        SystemConfig.default(),
+        num_cores=num_cores,
+        threads_per_core=threads_per_core,
+        mesh_dims=(max(rows, 2), max(cols, 2)),
+        l2_banks=max(4, num_cores),
+    )
+
+
+def wide_smt_preset(threads_per_core: int = 4,
+                    num_cores: int = 8) -> SystemConfig:
+    """Fewer, wider cores: stresses the SMT sibling-check machinery and
+    per-context signature replication (the T x L argument of Section 1)."""
+    return cmp_preset(num_cores=num_cores,
+                      threads_per_core=threads_per_core)
+
+
+def scaling_series(max_threads: int = 32
+                   ) -> Iterator[Tuple[str, SystemConfig, int]]:
+    """(label, config, thread-count) points for a thread-scaling study."""
+    for cores in (1, 2, 4, 8, 16):
+        threads = cores * 2
+        if threads > max_threads:
+            break
+        yield f"{cores}c/{threads}t", cmp_preset(cores), threads

@@ -1,0 +1,65 @@
+"""Conflict resolution (LogTM's stall/abort policy, adopted by LogTM-SE).
+
+A requester whose coherence request is NACKed *stalls* and retries; it
+aborts only when a possible deadlock cycle exists. LogTM detects possible
+cycles with transaction timestamps: a transaction sets ``possible_cycle``
+when it NACKs an *older* requester, and a requester aborts when it receives
+a NACK from an *older* transaction while its own ``possible_cycle`` flag is
+set. (More sophisticated versions could trap to a contention manager —
+Section 2; this module is the single place such a manager would plug in.)
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import List
+
+from repro.common.config import TMConfig
+from repro.coherence.msgs import Blocker
+from repro.core.txcontext import TxContext
+
+
+class Resolution(enum.Enum):
+    STALL = "stall"    # back off and retry the request
+    ABORT = "abort"    # unroll the log, release isolation, restart
+
+
+def resolve_nack(ctx: TxContext, blockers: List[Blocker]) -> Resolution:
+    """Decide what a NACKed requester does.
+
+    Non-transactional requesters always stall: they hold no isolation, so
+    they cannot be part of a deadlock cycle and the blocking transaction
+    will eventually commit or abort.
+    """
+    if not ctx.transactional or ctx.timestamp is None:
+        return Resolution.STALL
+    nacked_by_older = any(b.older_than(ctx.timestamp) for b in blockers)
+    if nacked_by_older and ctx.possible_cycle:
+        return Resolution.ABORT
+    return Resolution.STALL
+
+
+class BackoffPolicy:
+    """Retry spacing for stalls and aborted-transaction restarts."""
+
+    def __init__(self, cfg: TMConfig, rng: random.Random) -> None:
+        self._cfg = cfg
+        self._rng = rng
+
+    def stall_delay(self) -> int:
+        """Cycles before retrying a NACKed coherence request."""
+        jitter = self._rng.randrange(self._cfg.backoff_jitter + 1)
+        return self._cfg.backoff_base + jitter
+
+    def restart_delay(self, attempt: int) -> int:
+        """Cycles before restarting an aborted transaction.
+
+        Randomized exponential backoff with a *high* cap: repeated aborts of
+        the same transaction must eventually back off far enough for an
+        older stalled transaction to find a conflict-free window — this is
+        what makes the timestamp policy starvation-free in practice.
+        """
+        exp = min(max(attempt, 1), 12)
+        window = self._cfg.backoff_base << exp
+        return self._cfg.backoff_base + self._rng.randrange(window)

@@ -1,0 +1,7 @@
+"""CPU model: cores, SMT thread contexts, and the thread executor."""
+
+from repro.cpu.core import Core
+from repro.cpu.executor import ThreadExecutor
+from repro.cpu.thread import HardwareSlot, SoftwareThread
+
+__all__ = ["Core", "HardwareSlot", "SoftwareThread", "ThreadExecutor"]

@@ -1,0 +1,402 @@
+"""Core model: SMT thread contexts, private L1, and the LogTM-SE access path.
+
+Every memory reference follows Section 2's flow:
+
+1. **Summary-signature check** — on every reference, hit or miss, against the
+   slot's summary register (conflicts with descheduled transactions trap).
+2. **SMT sibling check** — signatures of other thread contexts on this core
+   (same-core conflicts generate no coherence traffic, so they must be
+   caught here; this also covers S->M upgrades, which the directory never
+   forwards back to the requesting core).
+3. **L1 lookup** — hits with sufficient permission proceed with no signature
+   tests beyond the above (the coherence invariants guarantee safety).
+4. **Coherence request** on a miss/upgrade; a NACK invokes LogTM's
+   stall/abort resolution.
+5. **Transactional bookkeeping** — insert into the read/write signature;
+   for stores, consult the log filter and append an undo record on a miss.
+
+The core also implements :class:`ConflictPort`: the directory forwards
+requests here, and the signatures of all *scheduled* thread contexts answer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cache.array import CacheArray
+from repro.cache.block import MESI
+from repro.coherence.fabric import CoherenceFabric
+from repro.coherence.msgs import Blocker, ConflictPort, Timestamp
+from repro.common.config import SystemConfig
+from repro.common.errors import (AbortTransaction, PreemptedAccess,
+                                 SimulationError)
+from repro.common.stats import StatsRegistry
+from repro.core.conflict import BackoffPolicy
+from repro.core.policies import ContentionPolicy, Decision, make_policy
+from repro.cpu.thread import HardwareSlot
+from repro.mem.address import AddressMap
+from repro.mem.physical import PhysicalMemory
+from repro.mem.tlb import Tlb
+from repro.signatures.rwpair import ReadWriteSignature
+
+#: Give up after this many retries of one access — indicates a livelock bug
+#: in the model rather than expected workload behavior.
+MAX_ACCESS_RETRIES = 100_000
+
+
+class Core(ConflictPort):
+    """One processor core: L1 cache + ``threads_per_core`` SMT slots."""
+
+    def __init__(self, core_id: int, cfg: SystemConfig,
+                 fabric: CoherenceFabric, memory: PhysicalMemory,
+                 stats: StatsRegistry, backoff: BackoffPolicy,
+                 summary_factory: Callable[[], ReadWriteSignature]) -> None:
+        self._core_id = core_id
+        self.cfg = cfg
+        self.fabric = fabric
+        self.memory = memory
+        self.stats = stats
+        self.backoff = backoff
+        self.threads_per_core = cfg.threads_per_core
+        self.l1 = CacheArray(cfg.l1, name=f"L1[{core_id}]")
+        self.amap = AddressMap(block_bytes=cfg.block_bytes,
+                               page_bytes=cfg.page_bytes,
+                               num_banks=cfg.l2_banks)
+        self.slots = [HardwareSlot(self, i, summary_factory())
+                      for i in range(cfg.threads_per_core)]
+        self.policy: ContentionPolicy = make_policy(cfg.tm)
+        self.tlb = Tlb(entries=cfg.tlb_entries)
+        self._c_loads = stats.counter("mem.loads")
+        self._c_stores = stats.counter("mem.stores")
+        self._c_stalls = stats.counter("tm.stalls")
+        self._c_nontx_stalls = stats.counter("mem.nontx_stalls")
+        self._c_conflicts = stats.counter("tm.conflicts_total")
+        self._c_conflicts_fp = stats.counter("tm.conflicts_false_positive")
+        self._c_summary = stats.counter("tm.summary_conflicts")
+        self._c_sibling = stats.counter("tm.sibling_conflicts")
+        self._c_log_appends = stats.counter("tm.log_appends")
+        self._c_log_filtered = stats.counter("tm.log_filtered")
+        fabric.attach(self)
+
+    # ------------------------------------------------------------------
+    # ConflictPort (the directory/bus calls in here)
+    # ------------------------------------------------------------------
+
+    @property
+    def core_id(self) -> int:
+        return self._core_id
+
+    def check_conflicts(self, block_addr: int, is_write: bool,
+                        exclude_thread: Optional[int], asid: int,
+                        requester_ts: Optional[Timestamp]) -> List[Blocker]:
+        if self.cfg.tm.lazy:
+            # Lazy (Bulk-style) mode detects conflicts at commit time, not
+            # on coherence requests: execution is never NACKed.
+            return []
+        blockers: List[Blocker] = []
+        for slot in self.slots:
+            thread = slot.thread
+            if thread is None or thread.tid == exclude_thread:
+                continue
+            # ASID filter: signatures never NACK another address space
+            # (prevents cross-process interference, Section 2). The
+            # ablation knob re-creates the interference for measurement.
+            if self.cfg.tm.use_asid_filter and thread.asid != asid:
+                continue
+            ctx = thread.ctx
+            if ctx.signature.conflicts(is_write, block_addr):
+                fp = ctx.signature.conflict_is_false_positive(
+                    is_write, block_addr)
+                ctx.note_nacked_older(requester_ts)
+                blockers.append(Blocker(self._core_id, thread.tid,
+                                        ctx.timestamp, fp))
+        return blockers
+
+    def mark_abort(self, thread_id: int) -> bool:
+        for slot in self.slots:
+            thread = slot.thread
+            if thread is not None and thread.tid == thread_id:
+                if thread.ctx.in_tx:
+                    thread.ctx.pending_abort = True
+                    self.stats.counter("tm.remote_abort_requests").add()
+                    return True
+                return False
+        return False
+
+    def invalidate_block(self, block_addr: int) -> bool:
+        return self.l1.invalidate(block_addr) is not None
+
+    def downgrade_block(self, block_addr: int) -> bool:
+        block = self.l1.peek(block_addr)
+        if block is not None and block.state.is_exclusive:
+            block.state = MESI.SHARED
+            return True
+        return False
+
+    def holds_transactional(self, block_addr: int) -> bool:
+        """Conservative signature test used for the sticky decision."""
+        if self.cfg.tm.lazy:
+            # No sticky states under lazy detection (Bulk has no need:
+            # commit-time broadcasts reach every signature).
+            return False
+        for slot in self.slots:
+            if slot.thread is None:
+                continue
+            sig = slot.thread.ctx.signature
+            if sig.read.contains(block_addr) or sig.write.contains(block_addr):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # The access path (simulation sub-generators)
+    # ------------------------------------------------------------------
+
+    def _lazy_tx(self, slot: HardwareSlot) -> bool:
+        """Is this access a transactional access under lazy versioning?"""
+        thread = slot.thread
+        return (self.cfg.tm.lazy and thread is not None
+                and thread.ctx.transactional)
+
+    def _check_doomed(self, slot: HardwareSlot) -> None:
+        """Surface an asynchronous squash *before* the next operation.
+
+        A lazily-squashed (or classic-LogTM preempted) transaction was
+        already unrolled elsewhere; if its thread kept executing, its next
+        store would apply non-transactionally. Raising here hands control
+        to the executor's retry loop instead.
+        """
+        ctx = slot.thread.ctx if slot.thread else None
+        if ctx is not None and ctx.aborted_by_os:
+            ctx.aborted_by_os = False
+            raise AbortTransaction("squashed asynchronously")
+
+    def load(self, slot: HardwareSlot, vaddr: int):
+        """Load a word; returns its value."""
+        self._c_loads.add()
+        self._check_doomed(slot)
+        if self._lazy_tx(slot):
+            ctx = slot.thread.ctx
+            word = PhysicalMemory.word_of(vaddr)
+            if word in ctx.write_buffer:
+                # Read-your-own-write from the speculative buffer.
+                yield self.cfg.l1.latency
+                return ctx.write_buffer[word]
+        yield from self._access(slot, vaddr, is_write=False)
+        return self.memory.load(slot.thread.translate(vaddr))
+
+    def store(self, slot: HardwareSlot, vaddr: int, value: int):
+        """Store a word.
+
+        Eager versioning updates memory in place (after undo logging, in
+        the access path). Lazy versioning buffers the store locally — no
+        coherence permission, no logging, invisible until commit.
+        """
+        self._c_stores.add()
+        self._check_doomed(slot)
+        if self._lazy_tx(slot):
+            ctx = slot.thread.ctx
+            block = self.amap.block_of(slot.thread.translate(vaddr))
+            ctx.signature.insert_write(block)
+            ctx.write_buffer[PhysicalMemory.word_of(vaddr)] = value
+            yield self.cfg.l1.latency
+            return
+        yield from self._access(slot, vaddr, is_write=True)
+        self.memory.store(slot.thread.translate(vaddr), value)
+
+    def fetch_add(self, slot: HardwareSlot, vaddr: int, delta: int):
+        """Atomic read-modify-write; returns the old value."""
+        self._c_stores.add()
+        self._check_doomed(slot)
+        if self._lazy_tx(slot):
+            old = yield from self.load(slot, vaddr)
+            yield from self.store(slot, vaddr, old + delta)
+            return old
+        yield from self._access(slot, vaddr, is_write=True)
+        paddr = slot.thread.translate(vaddr)
+        old = self.memory.load(paddr)
+        self.memory.store(paddr, old + delta)
+        return old
+
+    def swap(self, slot: HardwareSlot, vaddr: int, value: int):
+        """Atomic exchange (test-and-set primitive); returns the old value."""
+        self._c_stores.add()
+        self._check_doomed(slot)
+        if self._lazy_tx(slot):
+            old = yield from self.load(slot, vaddr)
+            yield from self.store(slot, vaddr, value)
+            return old
+        yield from self._access(slot, vaddr, is_write=True)
+        paddr = slot.thread.translate(vaddr)
+        old = self.memory.load(paddr)
+        self.memory.store(paddr, value)
+        return old
+
+    def _access(self, slot: HardwareSlot, vaddr: int, is_write: bool):
+        """Acquire permission + perform TM bookkeeping for one reference."""
+        thread = slot.thread
+        if thread is None:
+            raise SimulationError(f"access on empty slot {slot.global_id}")
+        ctx = thread.ctx
+        # Address translation: the page table is the functional truth; the
+        # TLB charges the walk latency on a miss (and is kept coherent by
+        # the OS shootdown in the paging path).
+        vpage = self.amap.page_of(vaddr)
+        frame = self.tlb.lookup(thread.asid, vpage)
+        if frame is None:
+            yield self.cfg.tlb_walk_latency
+            self.stats.counter("mem.tlb_misses").add()
+            self.tlb.fill(thread.asid, vpage,
+                          self.amap.page_of(thread.translate(vaddr)))
+        block = self.amap.block_of(thread.translate(vaddr))
+        # Escaped accesses skip isolation bookkeeping but still carry the
+        # enclosing transaction's timestamp: the thread holds isolation, so
+        # it can sit on a deadlock cycle, and blockers must learn its age to
+        # set their possible_cycle flags (otherwise an old transaction
+        # stalled inside an escape action deadlocks the system).
+        requester_ts = ctx.timestamp if ctx.in_tx else None
+
+        for _attempt in range(MAX_ACCESS_RETRIES):
+            # Each retry is an instruction boundary: honor preemption here
+            # so a stalling thread can be descheduled (Section 4.1)...
+            if thread.preempt_requested:
+                raise PreemptedAccess(f"thread {thread.tid} preempted")
+            # ...and honor a remote contention manager's doom mark.
+            if ctx.pending_abort and ctx.transactional:
+                raise AbortTransaction("remote contention-manager abort")
+            # Translation can change under paging; recompute each retry.
+            block = self.amap.block_of(thread.translate(vaddr))
+
+            # (1) Summary signature: checked on every reference.
+            # (Lazy mode has neither summary signatures nor execution-time
+            # conflicts — Bulk is not virtualizable this way.)
+            if (not self.cfg.tm.lazy
+                    and slot.summary is not None
+                    and not slot.summary.is_empty
+                    and slot.summary.conflicts(is_write, block)):
+                self._c_summary.add()
+                self._note_conflict(ctx, fp=slot.summary.
+                                    conflict_is_false_positive(is_write, block))
+                if ctx.transactional:
+                    # Stalling cannot resolve a conflict with a descheduled
+                    # transaction; trap and abort (Section 4.1).
+                    raise AbortTransaction("summary-signature conflict")
+                yield self.backoff.stall_delay()
+                continue
+
+            # (2) SMT sibling signatures (eager mode only; lazy writes
+            # are invisible until commit).
+            sibling_blockers = [] if self.cfg.tm.lazy else \
+                self._sibling_conflicts(
+                    thread.tid, thread.asid, block, is_write, requester_ts)
+            if sibling_blockers:
+                self._c_sibling.add()
+                self._note_conflict(ctx, fp=all(
+                    b.false_positive for b in sibling_blockers))
+                yield from self._resolve_or_stall(ctx, sibling_blockers,
+                                                  retries=_attempt)
+                continue
+
+            # (3) L1 lookup.
+            resident = self.l1.lookup(block)
+            if resident is not None and (
+                    resident.state.can_write if is_write
+                    else resident.state.can_read):
+                yield self.cfg.l1.latency
+                if is_write and resident.state is MESI.EXCLUSIVE:
+                    resident.state = MESI.MODIFIED  # silent E->M upgrade
+                break
+
+            # (4) Coherence request.
+            result = yield from self.fabric.request(
+                self._core_id, thread.tid, requester_ts, block,
+                is_write, thread.asid)
+            if result.granted:
+                self._install(block, result.grant_state, is_write)
+                # Do not proceed directly: an SMT sibling may have touched
+                # the block while our request was in flight (its access was
+                # a local L1 hit our pre-issue sibling check predates).
+                # Looping re-runs the summary/sibling checks against the
+                # now-resident copy before the access commits.
+                continue
+            self._note_conflict(ctx, fp=result.all_false_positive)
+            yield from self._resolve_or_stall(ctx, result.blockers,
+                                              retries=_attempt)
+        else:
+            raise SimulationError(
+                f"thread {thread.tid} livelocked on {vaddr:#x}")
+
+        # (5) Transactional bookkeeping.
+        if ctx.transactional:
+            if is_write:
+                ctx.signature.insert_write(block)
+                vblock = self.amap.block_of(vaddr)
+                if ctx.log_filter.should_log(vblock):
+                    ctx.log.append(vblock, self.memory, thread.translate)
+                    self._c_log_appends.add()
+                    yield self.cfg.tm.log_store_cycles
+                else:
+                    self._c_log_filtered.add()
+            else:
+                ctx.signature.insert_read(block)
+
+    def _install(self, block_addr: int, state: MESI, is_write: bool) -> None:
+        """Fill the L1 after a grant; notify the fabric about the victim."""
+        if is_write and state is MESI.EXCLUSIVE:
+            state = MESI.MODIFIED
+        _new, victim = self.l1.insert(block_addr, state)
+        if victim is not None:
+            transactional = self.holds_transactional(victim.addr)
+            self.fabric.l1_evicted(self._core_id, victim.addr,
+                                   victim.state, transactional)
+
+    def _sibling_conflicts(self, tid: int, asid: int, block: int,
+                           is_write: bool, requester_ts: Optional[Timestamp]
+                           ) -> List[Blocker]:
+        blockers: List[Blocker] = []
+        for slot in self.slots:
+            other = slot.thread
+            if other is None or other.tid == tid or other.asid != asid:
+                continue
+            sig = other.ctx.signature
+            if sig.conflicts(is_write, block):
+                other.ctx.note_nacked_older(requester_ts)
+                blockers.append(Blocker(
+                    self._core_id, other.tid, other.ctx.timestamp,
+                    sig.conflict_is_false_positive(is_write, block)))
+        return blockers
+
+    def _resolve_or_stall(self, ctx, blockers: List[Blocker],
+                          retries: int = 0):
+        """Trap to the contention manager: stall, abort self, or doom the
+        blockers (Section 2's contention-manager hook; the default policy
+        is LogTM's timestamp scheme with a starvation-relief retry budget).
+        """
+        if ctx.transactional:
+            self._c_stalls.add()
+            self.stats.emit("tm.stall", thread=ctx.thread_id,
+                            blockers=len(blockers))
+            decision = self.policy.decide(ctx, blockers, retries)
+            if decision is Decision.ABORT_SELF:
+                limit = self.cfg.tm.max_retries_before_abort
+                if limit and retries >= limit:
+                    self.stats.counter("tm.starvation_aborts").add()
+                raise AbortTransaction(
+                    f"contention manager ({self.policy.name})")
+            if decision is Decision.ABORT_OTHERS:
+                for blocker in blockers:
+                    port = self.fabric.port(blocker.core_id)
+                    port.mark_abort(blocker.thread_id)
+        else:
+            self._c_nontx_stalls.add()
+        delay = self.backoff.stall_delay()
+        self.stats.counter("tm.stall_cycles").add(delay)
+        yield delay
+
+    def _note_conflict(self, ctx, fp: bool) -> None:
+        """Table 3 accounting: every detected conflict, real or aliased."""
+        self._c_conflicts.add()
+        if fp:
+            self._c_conflicts_fp.add()
+
+    def __repr__(self) -> str:
+        return f"Core({self._core_id}, slots={len(self.slots)})"

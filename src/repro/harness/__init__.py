@@ -1,0 +1,13 @@
+"""Experiment harness: system builder, runner, experiments, reports."""
+
+from repro.harness.runner import RunResult, run_perturbed, run_workload
+from repro.harness.sweep import (SweepResult, run_sweep,
+                                 signature_design_variants,
+                                 signature_size_variants)
+from repro.harness.system import System
+from repro.harness.trace import TraceEvent, TraceRecorder
+
+__all__ = ["RunResult", "SweepResult", "System", "TraceEvent",
+           "TraceRecorder", "run_perturbed", "run_sweep",
+           "run_workload", "signature_design_variants",
+           "signature_size_variants"]

@@ -1,0 +1,56 @@
+"""Plain-text table/series rendering for the experiment harness.
+
+The benchmarks print the same rows the paper reports; this module keeps the
+formatting in one place so benchmark output stays uniform and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep.replace("-+-", "---")))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Dict[str, float],
+                  unit: str = "") -> str:
+    """Render one named series (a figure's data points) as text."""
+    lines = [f"{name}" + (f" [{unit}]" if unit else "")]
+    width = max((len(k) for k in points), default=0)
+    for key, value in points.items():
+        lines.append(f"  {key.ljust(width)} : {value:.3f}")
+    return "\n".join(lines)
+
+
+def render_bar(value: float, scale: float = 1.0, width: int = 40) -> str:
+    """Tiny ASCII bar for speedup charts."""
+    filled = max(0, min(width, int(round(value / scale * width))))
+    return "#" * filled

@@ -1,0 +1,131 @@
+"""Workload runner: executes a workload on a system and collects results.
+
+``run_workload`` is the harness's single entry point: build a machine from a
+config, place one hardware context per workload thread, execute every
+thread's program to completion, and return cycles + statistics. The paper's
+throughput metric is "units of work per unit time"; with a fixed amount of
+work per run, *total cycles* is the inverse metric and speedup is a cycle
+ratio.
+
+``run_perturbed`` repeats a run with pseudo-randomly perturbed seeds to
+produce the 95% confidence intervals of the paper's methodology [2].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import SystemConfig
+from repro.common.rng import DEFAULT_SEED, make_rng, perturbed_seeds
+from repro.common.stats import ConfidenceInterval, Histogram
+from repro.cpu.executor import ThreadExecutor
+from repro.harness.system import System
+from repro.workloads.base import Workload
+
+#: Hard per-run cycle ceiling: a run exceeding this is a model bug, not a
+#: slow workload.
+DEFAULT_CYCLE_LIMIT = 500_000_000
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    workload: str
+    config_label: str
+    cycles: int
+    units: int
+    counters: Dict[str, int]
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    system: Optional[System] = None
+
+    @property
+    def commits(self) -> int:
+        return self.counters.get("tm.commits", 0)
+
+    @property
+    def aborts(self) -> int:
+        return self.counters.get("tm.aborts", 0)
+
+    @property
+    def stalls(self) -> int:
+        return self.counters.get("tm.stalls", 0)
+
+    @property
+    def false_positive_pct(self) -> float:
+        total = self.counters.get("tm.conflicts_total", 0)
+        if not total:
+            return 0.0
+        return 100.0 * self.counters.get("tm.conflicts_false_positive", 0) / total
+
+    @property
+    def victimizations(self) -> int:
+        return (self.counters.get("victimization.l1_tx", 0)
+                + self.counters.get("victimization.l2_tx", 0))
+
+    def cycles_per_unit(self) -> float:
+        return self.cycles / self.units if self.units else float("inf")
+
+
+def run_workload(cfg: SystemConfig, workload: Workload,
+                 seed: int = DEFAULT_SEED,
+                 cycle_limit: int = DEFAULT_CYCLE_LIMIT,
+                 config_label: str = "",
+                 start_skew: int = 1000,
+                 keep_system: bool = False) -> RunResult:
+    """Execute one workload to completion on a freshly built system.
+
+    ``start_skew`` staggers thread start times uniformly over that many
+    cycles, modeling thread-creation skew (real programs never release all
+    threads in the same cycle; a perfectly symmetric start is a simulation
+    artifact that manufactures worst-case conflicts).
+    """
+    system = System(cfg, seed=seed)
+    threads = system.place_threads(workload.num_threads)
+    procs = []
+    executors: List[ThreadExecutor] = []
+
+    def staggered(executor: ThreadExecutor, delay: int):
+        if delay:
+            yield delay
+        result = yield from executor.run()
+        return result
+
+    for index, thread in enumerate(threads):
+        rng = make_rng(seed, "workload", workload.name, index)
+        sections = workload.program(index, rng)
+        executor = ThreadExecutor(cfg, thread, system.manager,
+                                  sections, rng, system.stats)
+        executors.append(executor)
+        delay = rng.randrange(start_skew) if start_skew else 0
+        procs.append(system.sim.spawn(staggered(executor, delay),
+                                      name=f"{workload.name}.t{index}"))
+    system.sim.run_until_done(procs, limit=cycle_limit)
+    units = sum(e.units_done for e in executors)
+    return RunResult(
+        workload=workload.name,
+        config_label=config_label or cfg.tm.signature.describe(),
+        cycles=system.sim.now,
+        units=units,
+        counters=system.stats.snapshot(),
+        histograms=system.stats.histograms(),
+        system=system if keep_system else None,
+    )
+
+
+def run_perturbed(cfg: SystemConfig, make_workload, runs: int = 3,
+                  seed: int = DEFAULT_SEED, config_label: str = "",
+                  cycle_limit: int = DEFAULT_CYCLE_LIMIT):
+    """Run ``runs`` perturbed instances; returns (results, cycles CI).
+
+    ``make_workload`` is a zero-argument factory (workload generators hold
+    RNG-derived layout, so each run rebuilds the workload).
+    """
+    results = []
+    for run_seed in perturbed_seeds(seed, runs):
+        results.append(run_workload(cfg, make_workload(), seed=run_seed,
+                                    config_label=config_label,
+                                    cycle_limit=cycle_limit))
+    ci = ConfidenceInterval.from_samples([float(r.cycles) for r in results])
+    return results, ci

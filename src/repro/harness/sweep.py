@@ -1,0 +1,104 @@
+"""Parameter sweeps: run a workload across a family of configurations.
+
+The evaluation and its ablations are all "one workload x many configs"
+grids; this module gives that pattern one tested implementation, used by
+the benchmark harness, the CLI, and downstream users sizing their own
+design points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.config import SignatureKind, SystemConfig
+from repro.common.rng import DEFAULT_SEED
+from repro.harness.report import render_table
+from repro.harness.runner import RunResult, run_workload
+from repro.workloads.base import Workload
+
+#: A config variant: label plus the configuration to run.
+Variant = Tuple[str, SystemConfig]
+
+
+@dataclass
+class SweepResult:
+    """All runs of one sweep, keyed by variant label."""
+
+    results: Dict[str, RunResult] = field(default_factory=dict)
+    baseline_label: Optional[str] = None
+
+    def cycles(self, label: str) -> int:
+        return self.results[label].cycles
+
+    def speedup(self, label: str) -> float:
+        """Speedup of a variant relative to the sweep's baseline."""
+        if self.baseline_label is None:
+            raise ValueError("sweep has no baseline variant")
+        return self.results[self.baseline_label].cycles / max(
+            self.results[label].cycles, 1)
+
+    def labels(self) -> List[str]:
+        return list(self.results)
+
+    def table(self, title: str = "Sweep") -> str:
+        rows = []
+        for label, result in self.results.items():
+            row = [label, result.cycles, result.commits, result.aborts,
+                   result.stalls,
+                   round(result.false_positive_pct, 1)]
+            if self.baseline_label is not None:
+                row.append(round(self.speedup(label), 3))
+            rows.append(tuple(row))
+        headers = ["Variant", "Cycles", "Commits", "Aborts", "Stalls",
+                   "FP %"]
+        if self.baseline_label is not None:
+            headers.append(f"Speedup vs {self.baseline_label}")
+        return render_table(headers, rows, title=title)
+
+
+def run_sweep(variants: Iterable[Variant],
+              workload_factory: Callable[[], Workload],
+              seed: int = DEFAULT_SEED,
+              baseline_label: Optional[str] = None) -> SweepResult:
+    """Run the factory's workload under every variant configuration."""
+    sweep = SweepResult(baseline_label=baseline_label)
+    for label, cfg in variants:
+        if label in sweep.results:
+            raise ValueError(f"duplicate variant label {label!r}")
+        sweep.results[label] = run_workload(
+            cfg, workload_factory(), seed=seed, config_label=label)
+    if baseline_label is not None and baseline_label not in sweep.results:
+        raise ValueError(f"baseline {baseline_label!r} not in sweep")
+    return sweep
+
+
+def signature_size_variants(kind: SignatureKind,
+                            sizes: Sequence[int],
+                            base: Optional[SystemConfig] = None,
+                            granularity: int = 1024) -> List[Variant]:
+    """BS_64-style size series for one signature design."""
+    base = base or SystemConfig.default()
+    out: List[Variant] = []
+    for bits in sizes:
+        cfg = base.with_signature(kind, bits=bits, granularity=granularity)
+        out.append((cfg.tm.signature.describe(), cfg))
+    return out
+
+
+def signature_design_variants(bits: int,
+                              base: Optional[SystemConfig] = None
+                              ) -> List[Variant]:
+    """All realistic designs at one size (plus perfect as reference)."""
+    base = base or SystemConfig.default()
+    return [
+        ("Perfect", base.with_signature(SignatureKind.PERFECT)),
+        (f"BS_{bits}", base.with_signature(SignatureKind.BIT_SELECT,
+                                           bits=bits)),
+        (f"DBS_{bits}", base.with_signature(
+            SignatureKind.DOUBLE_BIT_SELECT, bits=bits)),
+        (f"CBS_{bits}", base.with_signature(
+            SignatureKind.COARSE_BIT_SELECT, bits=bits, granularity=1024)),
+        (f"H4_{bits}", base.with_signature(SignatureKind.HASHED,
+                                           bits=bits)),
+    ]

@@ -1,0 +1,140 @@
+"""System builder: assembles a full simulated machine from a config.
+
+A :class:`System` wires together the simulation kernel, functional memory,
+frame allocator, interconnect, coherence fabric (directory or snooping),
+cores with their SMT slots, and the TM manager — the complete machine of
+Figure 2 plus the LogTM-SE additions of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.config import CoherenceStyle, SystemConfig
+from repro.common.errors import ConfigError
+from repro.common.rng import DEFAULT_SEED, make_rng
+from repro.common.stats import StatsRegistry
+from repro.coherence.directory import DirectoryFabric
+from repro.coherence.multichip import MultiChipFabric
+from repro.coherence.snooping import SnoopingFabric
+from repro.core.conflict import BackoffPolicy
+from repro.core.manager import TMManager
+from repro.core.txcontext import TxContext
+from repro.cpu.core import Core
+from repro.cpu.thread import HardwareSlot, SoftwareThread
+from repro.interconnect.network import Network
+from repro.interconnect.topology import GridTopology
+from repro.mem.address import AddressMap
+from repro.mem.physical import PhysicalMemory
+from repro.mem.vm import FrameAllocator, PageTable
+from repro.sim.engine import Simulator
+from repro.signatures.factory import make_rw_pair
+from repro.signatures.rwpair import ReadWriteSignature
+
+
+class System:
+    """One fully assembled simulated machine."""
+
+    def __init__(self, cfg: SystemConfig, seed: int = DEFAULT_SEED) -> None:
+        self.cfg = cfg
+        self.seed = seed
+        self.sim = Simulator()
+        self.stats = StatsRegistry()
+        self.memory = PhysicalMemory(capacity_bytes=cfg.memory_bytes)
+        self.amap = AddressMap(block_bytes=cfg.block_bytes,
+                               page_bytes=cfg.page_bytes,
+                               num_banks=cfg.l2_banks)
+        self.frame_allocator = FrameAllocator(self.amap, cfg.memory_bytes)
+        rows, cols = cfg.mesh_dims
+        self.topology = GridTopology(rows, cols, cfg.num_cores, cfg.l2_banks)
+        self.network = Network(self.topology, cfg.link_latency, self.stats)
+        if cfg.num_chips > 1:
+            # Section 7's multiple-CMP system: one intra-chip network per
+            # chip plus the full-map memory directory fabric.
+            networks = [self.network] + [
+                Network(self.topology, cfg.link_latency, self.stats)
+                for _ in range(cfg.num_chips - 1)]
+            self.fabric = MultiChipFabric(cfg, networks, self.stats)
+        elif cfg.coherence is CoherenceStyle.DIRECTORY:
+            self.fabric = DirectoryFabric(cfg, self.network, self.stats)
+        elif cfg.coherence is CoherenceStyle.SNOOPING:
+            self.fabric = SnoopingFabric(cfg, self.network, self.stats)
+        else:  # pragma: no cover - exhaustive enum
+            raise ConfigError(f"unknown coherence style {cfg.coherence}")
+        backoff_rng = make_rng(seed, "backoff")
+        self.backoff = BackoffPolicy(cfg.tm, backoff_rng)
+        self.cores: List[Core] = [
+            Core(core_id, cfg, self.fabric, self.memory, self.stats,
+                 self.backoff, summary_factory=self._make_pair)
+            for core_id in range(cfg.total_cores)]
+        self.manager = TMManager(cfg, self.sim, self.memory, self.cores,
+                                 self.stats, pair_factory=self._make_pair)
+        self._page_tables: Dict[int, PageTable] = {}
+        self._next_tid = 0
+
+    def _make_pair(self) -> ReadWriteSignature:
+        return make_rw_pair(self.cfg.tm.signature, self.cfg.block_bytes)
+
+    # ------------------------------------------------------------------
+    # Processes and threads
+    # ------------------------------------------------------------------
+
+    def page_table(self, asid: int = 0) -> PageTable:
+        """The (shared) page table of one address space."""
+        table = self._page_tables.get(asid)
+        if table is None:
+            table = PageTable(self.amap, self.frame_allocator, asid=asid)
+            self._page_tables[asid] = table
+        return table
+
+    def new_thread(self, asid: int = 0) -> SoftwareThread:
+        """Create an unscheduled software thread in the given process."""
+        tid = self._next_tid
+        self._next_tid += 1
+        ctx = TxContext(
+            thread_id=tid,
+            signature=self._make_pair(),
+            summary=self._make_pair(),
+            stats=self.stats,
+            asid=asid,
+            block_bytes=self.cfg.block_bytes,
+            log_filter_entries=self.cfg.tm.log_filter_entries)
+        return SoftwareThread(tid, self.page_table(asid), ctx)
+
+    def all_slots(self) -> List[HardwareSlot]:
+        return [slot for core in self.cores for slot in core.slots]
+
+    def free_slots(self) -> List[HardwareSlot]:
+        return [slot for slot in self.all_slots() if not slot.occupied]
+
+    def place_threads(self, count: int, asid: int = 0
+                      ) -> List[SoftwareThread]:
+        """Create and bind ``count`` threads, spreading across cores first.
+
+        Thread i lands on core ``i % num_cores``, SMT slot ``i // num_cores``
+        — the natural OS placement that fills every core before doubling up.
+        """
+        if count > len(self.all_slots()):
+            raise ConfigError(
+                f"{count} threads exceed {len(self.all_slots())} contexts")
+        threads = []
+        for i in range(count):
+            thread = self.new_thread(asid)
+            core = self.cores[i % self.cfg.total_cores]
+            slot = core.slots[i // self.cfg.total_cores]
+            slot.bind(thread)
+            threads.append(thread)
+        return threads
+
+    def attach_tracer(self, max_events: int = 100_000, kinds=None):
+        """Attach a TraceRecorder capturing TM/OS lifecycle events."""
+        from repro.harness.trace import TraceRecorder
+        recorder = TraceRecorder(clock=lambda: self.sim.now,
+                                 max_events=max_events, kinds=kinds)
+        self.stats.recorder = recorder
+        return recorder
+
+    def slot_of(self, thread: SoftwareThread) -> HardwareSlot:
+        if thread.slot is None:
+            raise ConfigError(f"thread {thread.tid} is not scheduled")
+        return thread.slot

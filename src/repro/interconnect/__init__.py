@@ -1,0 +1,6 @@
+"""On-chip interconnect: grid topology and message latency model."""
+
+from repro.interconnect.network import Network
+from repro.interconnect.topology import GridTopology
+
+__all__ = ["GridTopology", "Network"]

@@ -1,0 +1,65 @@
+"""Message latency model over the grid.
+
+A :class:`Network` converts (source, destination) pairs into cycle costs and
+counts traffic by message class, which the harness can report. There is no
+queueing model — see DESIGN.md ("blocking directory" keeps at most one
+transaction per directory entry in flight, which bounds contention; the
+paper's numbers are dominated by protocol hops and memory latency).
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatsRegistry
+from repro.interconnect.topology import GridTopology
+
+
+class Network:
+    """Charges per-hop link latency for coherence traffic."""
+
+    def __init__(self, topology: GridTopology, link_latency: int,
+                 stats: StatsRegistry) -> None:
+        self.topology = topology
+        self.link_latency = link_latency
+        self._stats = stats
+        self._messages = stats.counter("network.messages")
+        self._hops = stats.counter("network.hops")
+
+    def _charge(self, hops: int, msg_class: str) -> int:
+        self._messages.add()
+        self._hops.add(hops)
+        self._stats.counter(f"network.msg.{msg_class}").add()
+        # Minimum one link traversal even for same-tile transfers (the
+        # message still crosses the router/bank interface).
+        return max(hops, 1) * self.link_latency
+
+    def core_to_bank(self, core_id: int, bank_id: int,
+                     msg_class: str = "request") -> int:
+        hops = self.topology.core_to_bank_hops(core_id, bank_id)
+        return self._charge(hops, msg_class)
+
+    def bank_to_core(self, bank_id: int, core_id: int,
+                     msg_class: str = "response") -> int:
+        hops = self.topology.core_to_bank_hops(core_id, bank_id)
+        return self._charge(hops, msg_class)
+
+    def core_to_core(self, src: int, dst: int,
+                     msg_class: str = "forward") -> int:
+        hops = self.topology.core_to_core_hops(src, dst)
+        return self._charge(hops, msg_class)
+
+    def broadcast_from_bank(self, bank_id: int,
+                            msg_class: str = "broadcast") -> int:
+        """Cost of reaching every core from a bank (sequential worst hop).
+
+        Used when the L2 lost directory info (Section 5) or under the
+        snooping protocol (Section 7): the latency is bounded by the farthest
+        destination; per-message counters record the fan-out.
+        """
+        worst = 0
+        for core_id in range(self.topology.num_cores):
+            hops = self.topology.core_to_bank_hops(core_id, bank_id)
+            self._messages.add()
+            self._hops.add(hops)
+            worst = max(worst, hops)
+        self._stats.counter(f"network.msg.{msg_class}").add()
+        return max(worst, 1) * self.link_latency

@@ -1,0 +1,9 @@
+"""Memory substrate: address math, functional memory, paging, TLB."""
+
+from repro.mem.address import AddressMap
+from repro.mem.physical import WORD_BYTES, PhysicalMemory
+from repro.mem.tlb import Tlb
+from repro.mem.vm import FrameAllocator, PageTable, Relocation
+
+__all__ = ["AddressMap", "FrameAllocator", "PageTable", "PhysicalMemory",
+           "Relocation", "Tlb", "WORD_BYTES"]

@@ -1,0 +1,76 @@
+"""Functional physical memory.
+
+The simulator separates *timing* (caches, directory, interconnect) from
+*function* (values). All data values live here, in a sparse word store, so
+that LogTM-SE's eager version management is real: stores update this memory
+in place, the undo log captures genuine old values, and an abort observably
+restores them. Tests verify atomicity and isolation against this store.
+
+Words are 8 bytes; addresses used by workloads are word-aligned by
+convention, but any integer address maps to its containing word.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+WORD_BYTES = 8
+
+
+class PhysicalMemory:
+    """Sparse word-addressed value store (missing words read as zero)."""
+
+    __slots__ = ("_words", "capacity_bytes")
+
+    def __init__(self, capacity_bytes: int = 4 * 1024 * 1024 * 1024) -> None:
+        self._words: Dict[int, int] = {}
+        self.capacity_bytes = capacity_bytes
+
+    @staticmethod
+    def word_of(addr: int) -> int:
+        return addr & ~(WORD_BYTES - 1)
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.capacity_bytes:
+            raise IndexError(
+                f"address {addr:#x} outside physical memory "
+                f"({self.capacity_bytes:#x} bytes)")
+
+    def load(self, addr: int) -> int:
+        self._check(addr)
+        return self._words.get(self.word_of(addr), 0)
+
+    def store(self, addr: int, value: int) -> int:
+        """Write a word; returns the old value (used by undo logging)."""
+        self._check(addr)
+        word = self.word_of(addr)
+        old = self._words.get(word, 0)
+        if value == 0:
+            self._words.pop(word, None)
+        else:
+            self._words[word] = value
+        return old
+
+    def copy_range(self, src: int, dst: int, nbytes: int) -> None:
+        """Copy a byte range (used by the paging model when moving a page)."""
+        self._check(src)
+        self._check(src + nbytes - 1)
+        self._check(dst)
+        self._check(dst + nbytes - 1)
+        if nbytes % WORD_BYTES:
+            raise ValueError("copy length must be word-aligned")
+        moved: Dict[int, int] = {}
+        for off in range(0, nbytes, WORD_BYTES):
+            moved[dst + off] = self._words.get(src + off, 0)
+        for addr, value in moved.items():
+            if value == 0:
+                self._words.pop(addr, None)
+            else:
+                self._words[addr] = value
+
+    def nonzero_words(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(word_address, value)`` pairs with nonzero values."""
+        return iter(sorted(self._words.items()))
+
+    def __len__(self) -> int:
+        return len(self._words)

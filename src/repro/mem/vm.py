@@ -1,0 +1,113 @@
+"""Virtual memory: page tables and page relocation.
+
+Workload programs use *virtual* addresses; each process has a
+:class:`PageTable` that lazily allocates physical frames. The OS paging model
+(:mod:`repro.osmodel.paging`) relocates pages — remapping a virtual page to a
+new physical frame and copying the data — which is the event LogTM-SE's
+signature-rewrite mechanism (Section 4.2) must survive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.mem.address import AddressMap
+from repro.mem.physical import PhysicalMemory
+
+
+class FrameAllocator:
+    """Bump allocator of physical page frames with a free list."""
+
+    def __init__(self, amap: AddressMap, capacity_bytes: int,
+                 base: int = 0) -> None:
+        if base % amap.page_bytes:
+            raise ConfigError("frame allocator base must be page-aligned")
+        self._amap = amap
+        self._next = base
+        self._limit = capacity_bytes
+        self._free: List[int] = []
+
+    def allocate(self) -> int:
+        """Return the physical base address of a fresh frame."""
+        if self._free:
+            return self._free.pop()
+        frame = self._next
+        if frame + self._amap.page_bytes > self._limit:
+            raise MemoryError("physical memory exhausted")
+        self._next += self._amap.page_bytes
+        return frame
+
+    def release(self, frame: int) -> None:
+        if frame % self._amap.page_bytes:
+            raise ValueError("frame must be page-aligned")
+        self._free.append(frame)
+
+
+class PageTable:
+    """Per-process virtual→physical map with demand allocation."""
+
+    def __init__(self, amap: AddressMap, allocator: FrameAllocator,
+                 asid: int = 0) -> None:
+        self._amap = amap
+        self._allocator = allocator
+        #: Address-space identifier, carried on coherence requests so that
+        #: signature checks never create cross-process false conflicts
+        #: (Section 2, "interference between memory references").
+        self.asid = asid
+        self._map: Dict[int, int] = {}
+        self.relocations = 0
+
+    def translate(self, vaddr: int) -> int:
+        """Physical address for ``vaddr``, allocating the frame on first use."""
+        vpage = self._amap.page_of(vaddr)
+        frame = self._map.get(vpage)
+        if frame is None:
+            frame = self._allocator.allocate()
+            self._map[vpage] = frame
+        return frame + self._amap.page_offset(vaddr)
+
+    def mapping(self, vpage: int) -> Optional[int]:
+        """Current frame of a virtual page, or None if never touched."""
+        return self._map.get(self._amap.page_of(vpage))
+
+    def relocate(self, vaddr: int, memory: PhysicalMemory) -> "Relocation":
+        """Move the page containing ``vaddr`` to a fresh frame.
+
+        Copies the data and returns the (old, new) physical frames so the TM
+        layer can rewrite signatures. The old frame is returned to the
+        allocator only by the caller (after signatures are updated) via
+        :meth:`Relocation.release_old_frame`.
+        """
+        vpage = self._amap.page_of(vaddr)
+        old_frame = self._map.get(vpage)
+        if old_frame is None:
+            raise KeyError(f"virtual page {vpage:#x} is not mapped")
+        new_frame = self._allocator.allocate()
+        memory.copy_range(old_frame, new_frame, self._amap.page_bytes)
+        self._map[vpage] = new_frame
+        self.relocations += 1
+        return Relocation(self, vpage, old_frame, new_frame)
+
+    def mapped_pages(self) -> Dict[int, int]:
+        return dict(self._map)
+
+
+class Relocation:
+    """Record of one page move (old/new frames) pending signature fix-up."""
+
+    __slots__ = ("_table", "vpage", "old_frame", "new_frame", "_released")
+
+    def __init__(self, table: PageTable, vpage: int,
+                 old_frame: int, new_frame: int) -> None:
+        self._table = table
+        self.vpage = vpage
+        self.old_frame = old_frame
+        self.new_frame = new_frame
+        self._released = False
+
+    def release_old_frame(self) -> None:
+        """Hand the old frame back once no signature references remain."""
+        if not self._released:
+            self._table._allocator.release(self.old_frame)
+            self._released = True

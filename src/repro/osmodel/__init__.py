@@ -1,0 +1,6 @@
+"""OS model: scheduler (context switching / migration) and paging daemon."""
+
+from repro.osmodel.paging import PagingDaemon
+from repro.osmodel.scheduler import TimeSliceScheduler
+
+__all__ = ["PagingDaemon", "TimeSliceScheduler"]

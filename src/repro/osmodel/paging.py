@@ -1,0 +1,57 @@
+"""OS paging daemon: relocates pages while transactions run.
+
+Section 4.2's requirement: a page in the read/write set of an *active*
+transaction may be paged out and back in at a different physical address,
+and no isolation may be lost. The daemon periodically picks a mapped page
+(optionally biased toward pages that transactions actually touched) and
+relocates it through :meth:`~repro.core.manager.TMManager.relocate_page`,
+which copies the data and rewrites every affected signature.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.harness.system import System
+from repro.mem.vm import PageTable
+
+
+class PagingDaemon:
+    """Periodically relocates pages of one address space."""
+
+    def __init__(self, system: System, page_table: PageTable,
+                 period: int = 20_000, rng: Optional[random.Random] = None,
+                 max_moves: int = 0) -> None:
+        if period < 1:
+            raise ValueError("period must be positive")
+        self.system = system
+        self.page_table = page_table
+        self.period = period
+        self.rng = rng or random.Random(0)
+        #: 0 = run until stopped; otherwise stop after this many moves.
+        self.max_moves = max_moves
+        self.moves = 0
+        self._stop = False
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def _candidate_pages(self) -> List[int]:
+        return sorted(self.page_table.mapped_pages())
+
+    def run(self):
+        """Daemon process: one relocation per period."""
+        while not self._stop:
+            yield self.period
+            if self._stop:
+                break
+            pages = self._candidate_pages()
+            if not pages:
+                continue
+            vpage = self.rng.choice(pages)
+            yield from self.system.manager.relocate_page(
+                self.page_table, vpage)
+            self.moves += 1
+            if self.max_moves and self.moves >= self.max_moves:
+                break

@@ -1,0 +1,106 @@
+"""OS scheduler model: time slicing, oversubscription, and migration.
+
+The paper's Section 4.1 requires transactions to survive descheduling and
+rescheduling on any thread context. This scheduler drives exactly that: it
+periodically preempts running threads (which may be mid-transaction) and
+places waiting threads on freed contexts — by default on a *different*
+context when one is available, so migration is exercised, not just
+suspension.
+
+It cooperates with :class:`~repro.cpu.executor.ThreadExecutor` through the
+thread's ``preempt_requested`` flag and ``parked`` / ``resumed`` signals;
+the actual transactional state movement (signature save/restore, summary
+signature installs) happens in :class:`~repro.core.manager.TMManager`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.cpu.thread import HardwareSlot, SoftwareThread
+from repro.harness.system import System
+
+
+class TimeSliceScheduler:
+    """Round-robin preemptive scheduler over a system's hardware contexts."""
+
+    def __init__(self, system: System, threads: List[SoftwareThread],
+                 quantum: int = 5_000, rng: Optional[random.Random] = None,
+                 prefer_migration: bool = True) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be positive")
+        self.system = system
+        self.threads = threads
+        self.quantum = quantum
+        self.rng = rng or random.Random(0)
+        self.prefer_migration = prefer_migration
+        self._ready: Deque[SoftwareThread] = deque(
+            t for t in threads if t.slot is None)
+        self._stop = False
+        self.preemptions = 0
+        self.placements = 0
+
+    def stop(self) -> None:
+        """Ask the scheduler process to wind down after the current slice."""
+        self._stop = True
+
+    def _pick_slot(self, exclude: Optional[HardwareSlot]) -> Optional[HardwareSlot]:
+        free = self.system.free_slots()
+        if not free:
+            return None
+        if self.prefer_migration and exclude is not None:
+            others = [s for s in free if s is not exclude]
+            if others:
+                return self.rng.choice(others)
+        return self.rng.choice(free)
+
+    def _place_ready(self):
+        """Schedule ready threads onto free contexts."""
+        while self._ready:
+            thread = self._ready.popleft()
+            if thread.finished:
+                continue
+            slot = self._pick_slot(exclude=None)
+            if slot is None:
+                self._ready.appendleft(thread)
+                return
+            yield from self.system.manager.schedule(thread, slot)
+            self.placements += 1
+            thread.resumed.fire(thread)
+
+    def run(self):
+        """Scheduler process: preempt one running thread per quantum."""
+        yield from self._place_ready()
+        while not self._stop:
+            yield self.quantum
+            if self._stop:
+                break
+            self._ready = deque(t for t in self._ready if not t.finished)
+            # Contexts freed by finished threads are refilled first.
+            yield from self._place_ready()
+            running = [t for t in self.threads
+                       if t.slot is not None and not t.preempt_requested
+                       and not t.finished]
+            # Nothing to rotate if nobody is waiting and nothing to migrate.
+            if not running or (not self._ready and len(running) < 2):
+                continue
+            victim = self.rng.choice(running)
+            victim.preempt_requested = True
+            self.preemptions += 1
+            parked = victim.parked.wait()
+            yield parked
+            # The victim saved its state and unbound; queue it and refill
+            # the freed contexts.
+            self._ready.append(victim)
+            yield from self._place_ready()
+        # Wind-down: make sure nothing is left parked forever.
+        yield from self._place_ready()
+
+    def drain(self):
+        """Keep placing ready threads until none remain (post-run cleanup)."""
+        while self._ready:
+            yield from self._place_ready()
+            if self._ready:
+                yield self.quantum

@@ -1,0 +1,7 @@
+"""Discrete-event simulation kernel: engine, futures, resources."""
+
+from repro.sim.engine import Process, Simulator
+from repro.sim.future import Future, Signal
+from repro.sim.resources import SimLock
+
+__all__ = ["Future", "Process", "Signal", "SimLock", "Simulator"]

@@ -1,0 +1,158 @@
+"""Discrete-event simulation engine.
+
+The engine owns virtual time (an integer cycle count) and a priority queue of
+scheduled actions. Model components are *processes*: plain Python generators
+that ``yield`` either
+
+* a non-negative ``int`` — advance virtual time by that many cycles, or
+* a :class:`~repro.sim.future.Future` — block until it resolves; the
+  resolved value is sent back into the generator.
+
+Processes compose with ``yield from``, which is how a CPU access "calls into"
+the cache hierarchy while accumulating latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.sim.future import Future
+
+#: What a process generator may yield.
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running generator registered with the simulator."""
+
+    __slots__ = ("gen", "name", "done", "sim", "_alive")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        #: Resolves with the generator's return value when it finishes.
+        self.done = Future(f"{name}.done")
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def kill(self) -> None:
+        """Terminate the process without resolving its ``done`` future value.
+
+        Used by tests and by the OS model when tearing a system down early.
+        """
+        if self._alive:
+            self._alive = False
+            self.gen.close()
+            if not self.done.done:
+                self.done.resolve(None)
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator one yield and reschedule accordingly."""
+        if not self._alive:
+            return
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.resolve(stop.value)
+            return
+        if isinstance(yielded, int):
+            if yielded < 0:
+                self._alive = False
+                raise SimulationError(
+                    f"process {self.name} yielded negative delay {yielded}")
+            self.sim.schedule(yielded, lambda: self._step(None))
+        elif isinstance(yielded, Future):
+            yielded.add_callback(
+                lambda value: self.sim.schedule(0, lambda: self._step(value)))
+        else:
+            self._alive = False
+            raise SimulationError(
+                f"process {self.name} yielded {type(yielded).__name__}; "
+                "only int delays and Futures are allowed")
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name}, {state})"
+
+
+class Simulator:
+    """The event loop: integer virtual time plus a heap of pending actions."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._seq = 0
+        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        self._processes: List[Process] = []
+        self.events_executed = 0
+
+    def schedule(self, delay: int, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` cycles (FIFO among equal times)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, action))
+
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        """Register a generator as a process; it starts at the current time."""
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        self.schedule(0, lambda: proc._step(None))
+        return proc
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue is empty, virtual time would pass ``until``, or
+        ``max_events`` actions have run. Returns the final virtual time.
+        """
+        while self._queue:
+            when, _seq, action = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            self.events_executed += 1
+            action()
+            if max_events is not None and self.events_executed >= max_events:
+                break
+        return self.now
+
+    def run_until_done(self, procs: List[Process],
+                       limit: Optional[int] = None) -> int:
+        """Run until every process in ``procs`` finished.
+
+        Raises :class:`DeadlockError` if the event queue drains first (some
+        process is blocked on a future nobody will resolve) or if ``limit``
+        cycles elapse.
+        """
+        while not all(p.done.done for p in procs):
+            if not self._queue:
+                stuck = [p.name for p in procs if not p.done.done]
+                raise DeadlockError(
+                    f"no pending events but processes blocked: {stuck}")
+            if limit is not None and self._queue[0][0] > limit:
+                stuck = [p.name for p in procs if not p.done.done]
+                raise DeadlockError(
+                    f"cycle limit {limit} exceeded; still running: {stuck}")
+            when, _seq, action = heapq.heappop(self._queue)
+            self.now = when
+            self.events_executed += 1
+            action()
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def processes(self) -> List[Process]:
+        """All processes ever spawned (including finished ones)."""
+        return list(self._processes)

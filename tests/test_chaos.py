@@ -1,0 +1,110 @@
+"""Chaos tests: every adverse mechanism at once.
+
+The strongest end-to-end claim the system can make: with heavily aliasing
+64-bit signatures, an aggressive contention manager, a preemptive
+scheduler migrating threads mid-transaction, a paging daemon relocating
+pages, and 2x thread oversubscription — all simultaneously — the
+data-structure oracles still hold exactly.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.coherence.invariants import check_all
+from repro.common.config import SignatureKind, SystemConfig
+from repro.common.rng import make_rng
+from repro.cpu.executor import ThreadExecutor
+from repro.harness.system import System
+from repro.osmodel.paging import PagingDaemon
+from repro.osmodel.scheduler import TimeSliceScheduler
+from repro.workloads import BankTransfer, LinkedListSet, SharedCounter
+
+
+def run_chaos(workload, num_threads, num_cores=2, quantum=600,
+              paging_period=2500, policy="timestamp",
+              signature=SignatureKind.BIT_SELECT, bits=64, seed=13):
+    cfg = SystemConfig.small(num_cores=num_cores, threads_per_core=1)
+    cfg = cfg.with_signature(signature, bits=bits)
+    cfg = replace(cfg, tm=replace(cfg.tm, contention_policy=policy))
+    system = System(cfg, seed=seed)
+    threads = [system.new_thread() for _ in range(num_threads)]
+    for thread, slot in zip(threads, system.all_slots()):
+        slot.bind(thread)
+    procs = []
+    for i, thread in enumerate(threads):
+        rng = make_rng(seed, "chaos", i)
+        executor = ThreadExecutor(cfg, thread, system.manager,
+                                  workload.program(i, rng), rng,
+                                  system.stats)
+        procs.append(system.sim.spawn(executor.run(), name=f"t{i}"))
+    scheduler = TimeSliceScheduler(system, threads, quantum=quantum,
+                                   rng=make_rng(seed, "sched"))
+    system.sim.spawn(scheduler.run(), name="sched")
+    pager = PagingDaemon(system, system.page_table(0),
+                         period=paging_period,
+                         rng=make_rng(seed, "pager"))
+    system.sim.spawn(pager.run(), name="pager")
+    while not all(p.done.done for p in procs):
+        system.sim.run(until=system.sim.now + 200_000)
+        assert system.sim.now < 300_000_000, "chaos run did not converge"
+    scheduler.stop()
+    pager.stop()
+    return system, scheduler, pager
+
+
+class TestChaosCounter:
+    def test_counter_exact_under_everything(self):
+        wl = SharedCounter(num_threads=5, units_per_thread=4,
+                           compute_between=300, inner_compute=300)
+        system, sched, pager = run_chaos(wl, num_threads=5)
+        value = system.memory.load(
+            system.page_table(0).translate(wl.counter))
+        assert value == 20
+        # All mechanisms actually fired.
+        assert sched.preemptions > 0
+        assert pager.moves > 0
+        check_all(system)
+
+
+class TestChaosBank:
+    @pytest.mark.parametrize("policy", ["timestamp", "aggressive"])
+    def test_balance_conserved(self, policy):
+        wl = BankTransfer(num_threads=5, units_per_thread=8,
+                          num_accounts=12, compute_between=150)
+        system, sched, pager = run_chaos(wl, num_threads=5, policy=policy,
+                                         seed=17)
+        assert wl.total_balance(system, system.page_table(0)) == 0
+        check_all(system)
+
+
+class TestChaosLinkedList:
+    def test_membership_oracle_holds(self):
+        wl = LinkedListSet(num_threads=5, units_per_thread=6,
+                           key_space=40, delete_fraction=0.2, seed=19,
+                           compute_between=120)
+        system, sched, pager = run_chaos(wl, num_threads=5, seed=19,
+                                         quantum=900, paging_period=4000)
+        keys = wl.walk(system, system.page_table(0))
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+        must_have, ambiguous = wl.expected_membership()
+        assert set(must_have) <= set(keys)
+        assert set(keys) <= set(must_have) | set(ambiguous)
+        assert pager.moves > 0, "paging must have interfered"
+        check_all(system)
+
+    def test_virtualization_events_mid_transaction(self):
+        """Confirm the chaos actually hit transactions, not just gaps."""
+        wl = LinkedListSet(num_threads=6, units_per_thread=6,
+                           key_space=30, delete_fraction=0.0, seed=23,
+                           compute_between=60)
+        system, sched, pager = run_chaos(wl, num_threads=6, seed=23,
+                                         quantum=300, paging_period=1500)
+        keys = wl.walk(system, system.page_table(0))
+        must_have, _ = wl.expected_membership()
+        assert set(must_have) == set(keys)
+        stats = system.stats
+        assert stats.value("os.deschedules_in_tx") > 0, (
+            "at least one preemption must land inside a transaction")
+        assert stats.value("os.page_relocations") > 0

@@ -1,0 +1,90 @@
+"""Tests for the original-LogTM baseline (Section 8 comparison).
+
+Classic LogTM keeps read/write sets in L1 R/W bits, which cannot be saved
+across a context switch: preemption mid-transaction aborts. LogTM-SE's
+software-visible signatures remove that cost — the difference these tests
+(and the ablation benchmark) measure.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.rng import make_rng
+from repro.cpu.executor import ThreadExecutor
+from repro.harness.system import System
+from repro.osmodel.scheduler import TimeSliceScheduler
+from repro.workloads import SharedCounter
+
+
+def classic_cfg(num_cores=2):
+    cfg = SystemConfig.small(num_cores=num_cores, threads_per_core=1)
+    return replace(cfg, tm=replace(cfg.tm, classic_logtm=True))
+
+
+def run_sim(system, gen):
+    proc = system.sim.spawn(gen)
+    system.sim.run()
+    return proc.done.value
+
+
+class TestDescheduleAborts:
+    def test_mid_tx_deschedule_aborts_and_restores(self):
+        system = System(classic_cfg(), seed=1)
+        thread = system.place_threads(1)[0]
+        slot = thread.slot
+        run_sim(system, slot.core.store(slot, 0x100, 5))
+        run_sim(system, system.manager.begin(slot))
+        run_sim(system, slot.core.store(slot, 0x100, 99))
+        run_sim(system, system.manager.deschedule(slot))
+        assert not thread.ctx.in_tx
+        assert thread.ctx.aborted_by_os
+        assert thread.saved_signature is None, "classic mode saves nothing"
+        # Eager versioning rolled the value back.
+        assert system.memory.load(thread.translate(0x100)) == 5
+        assert system.stats.value("tm.classic_preemption_aborts") == 1
+
+    def test_non_tx_deschedule_is_plain(self):
+        system = System(classic_cfg(), seed=1)
+        thread = system.place_threads(1)[0]
+        run_sim(system, system.manager.deschedule(thread.slot))
+        assert system.stats.value("tm.classic_preemption_aborts") == 0
+        assert not thread.ctx.aborted_by_os
+
+
+class TestOversubscribedClassic:
+    def _run(self, classic: bool):
+        cfg = SystemConfig.small(num_cores=2, threads_per_core=1)
+        cfg = replace(cfg, tm=replace(cfg.tm, classic_logtm=classic))
+        system = System(cfg, seed=2)
+        workload = SharedCounter(num_threads=5, units_per_thread=3,
+                                 compute_between=200, inner_compute=300)
+        threads = [system.new_thread() for _ in range(5)]
+        for thread, slot in zip(threads, system.all_slots()):
+            slot.bind(thread)
+        procs = []
+        for i, thread in enumerate(threads):
+            rng = make_rng(2, "classic", i)
+            ex = ThreadExecutor(cfg, thread, system.manager,
+                                workload.program(i, rng), rng, system.stats)
+            procs.append(system.sim.spawn(ex.run(), name=f"t{i}"))
+        sched = TimeSliceScheduler(system, threads, quantum=250,
+                                   rng=make_rng(2, "sched"))
+        system.sim.spawn(sched.run(), name="sched")
+        while not all(p.done.done for p in procs):
+            system.sim.run(until=system.sim.now + 100_000)
+            assert system.sim.now < 50_000_000, "did not converge"
+        sched.stop()
+        return system, workload
+
+    def test_classic_stays_correct_under_preemption(self):
+        system, wl = self._run(classic=True)
+        value = system.memory.load(system.page_table(0).translate(wl.counter))
+        assert value == 15, "atomicity despite preemption aborts"
+        assert system.stats.value("tm.classic_preemption_aborts") > 0
+
+    def test_se_avoids_preemption_aborts(self):
+        system, _ = self._run(classic=False)
+        assert system.stats.value("tm.classic_preemption_aborts") == 0
+        assert system.stats.value("os.deschedules_in_tx") > 0

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "fig3", "fig4", "table3",
+                    "victimization", "table4"):
+            args = parser.parse_args([cmd] if cmd in ("table1", "fig3",
+                                                      "table4")
+                                     else [cmd, "--scale", "quick"])
+            assert callable(args.fn)
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "Cholesky", "--threads", "4", "--units", "1",
+             "--signature", "bs", "--bits", "64"])
+        assert args.workload == "Cholesky"
+        assert args.threads == 4
+        assert args.bits == 64
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "500-cycle latency" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        assert "LogTM-SE" in capsys.readouterr().out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "Mp3d", "--threads", "4", "--units", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "commits" in out
+        assert "cycles" in out
+
+    def test_run_locks(self, capsys):
+        assert main(["run", "Mp3d", "--threads", "4", "--units", "1",
+                     "--locks"]) == 0
+        assert "locks" in capsys.readouterr().out
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "NotAWorkload"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_fig4_single_workload_quick(self, capsys):
+        assert main(["fig4", "--scale", "quick",
+                     "--workloads", "Mp3d"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Mp3d" in out

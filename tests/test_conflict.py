@@ -1,0 +1,101 @@
+"""Tests for the stall/abort resolution policy and backoff."""
+
+import random
+
+import pytest
+
+from repro.coherence.msgs import Blocker
+from repro.common.config import TMConfig
+from repro.common.stats import StatsRegistry
+from repro.core.conflict import BackoffPolicy, Resolution, resolve_nack
+from repro.core.txcontext import TxContext
+from repro.signatures.perfect import PerfectSignature
+from repro.signatures.rwpair import ReadWriteSignature
+
+
+def make_ctx(tid=0, begin=None):
+    ctx = TxContext(
+        thread_id=tid,
+        signature=ReadWriteSignature(PerfectSignature(), PerfectSignature()),
+        summary=ReadWriteSignature(PerfectSignature(), PerfectSignature()),
+        stats=StatsRegistry())
+    if begin is not None:
+        ctx.begin(now=begin)
+    return ctx
+
+
+def blocker(core=1, tid=9, ts=(50, 9), fp=False):
+    return Blocker(core_id=core, thread_id=tid, timestamp=ts,
+                   false_positive=fp)
+
+
+class TestResolveNack:
+    def test_non_transactional_always_stalls(self):
+        ctx = make_ctx()
+        assert resolve_nack(ctx, [blocker()]) is Resolution.STALL
+
+    def test_stall_when_no_cycle_flag(self):
+        ctx = make_ctx(begin=100)  # blocker at ts 50 is older
+        assert not ctx.possible_cycle
+        assert resolve_nack(ctx, [blocker(ts=(50, 9))]) is Resolution.STALL
+
+    def test_abort_on_older_blocker_with_cycle_flag(self):
+        ctx = make_ctx(begin=100)
+        ctx.possible_cycle = True
+        assert resolve_nack(ctx, [blocker(ts=(50, 9))]) is Resolution.ABORT
+
+    def test_stall_on_younger_blocker_even_with_flag(self):
+        ctx = make_ctx(begin=100)
+        ctx.possible_cycle = True
+        assert resolve_nack(ctx, [blocker(ts=(200, 9))]) is Resolution.STALL
+
+    def test_any_older_blocker_suffices(self):
+        ctx = make_ctx(begin=100)
+        ctx.possible_cycle = True
+        blockers = [blocker(ts=(200, 9)), blocker(ts=(10, 2))]
+        assert resolve_nack(ctx, blockers) is Resolution.ABORT
+
+    def test_nontx_blocker_is_never_older(self):
+        ctx = make_ctx(begin=100)
+        ctx.possible_cycle = True
+        assert resolve_nack(ctx, [blocker(ts=None)]) is Resolution.STALL
+
+    def test_escape_action_stalls(self):
+        ctx = make_ctx(begin=100)
+        ctx.possible_cycle = True
+        ctx.begin_escape()
+        assert resolve_nack(ctx, [blocker(ts=(50, 9))]) is Resolution.STALL
+
+
+class TestBlockerOrdering:
+    def test_older_than(self):
+        b = blocker(ts=(50, 9))
+        assert b.older_than((100, 0))
+        assert not b.older_than((10, 0))
+        assert b.older_than(None)  # tx is older than any non-tx requester
+
+    def test_tiebreak_by_thread_id(self):
+        assert blocker(ts=(50, 1)).older_than((50, 2))
+        assert not blocker(ts=(50, 2)).older_than((50, 1))
+
+
+class TestBackoffPolicy:
+    def test_stall_delay_in_range(self):
+        policy = BackoffPolicy(TMConfig(backoff_base=20, backoff_jitter=12),
+                               random.Random(0))
+        for _ in range(100):
+            d = policy.stall_delay()
+            assert 20 <= d <= 32
+
+    def test_restart_delay_grows_with_attempts(self):
+        policy = BackoffPolicy(TMConfig(backoff_base=20), random.Random(0))
+        early = [policy.restart_delay(1) for _ in range(200)]
+        late = [policy.restart_delay(12) for _ in range(200)]
+        assert max(early) < max(late)
+        assert sum(late) / len(late) > sum(early) / len(early) * 10
+
+    def test_restart_delay_caps(self):
+        policy = BackoffPolicy(TMConfig(backoff_base=20), random.Random(0))
+        cap = 20 + (20 << 12)
+        for _ in range(100):
+            assert policy.restart_delay(99) <= cap

@@ -1,0 +1,215 @@
+"""Tests for the lazy (Bulk-style) version-management mode.
+
+The Section 8 comparator: per-thread write buffers, commit-time signature
+broadcast under a global commit token, committer-wins squashes. Same
+correctness bar as eager mode — the data-structure oracles must hold —
+plus the characteristic cost asymmetry (local cheap aborts, global
+expensive commits; the mirror image of LogTM-SE).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import SignatureKind, SystemConfig
+from repro.common.errors import TransactionError
+from repro.harness.runner import run_workload
+from repro.harness.system import System
+from repro.workloads import BankTransfer, HashTable, LinkedListSet, SharedCounter
+
+
+def lazy_cfg(num_cores=2, threads_per_core=1,
+             signature=SignatureKind.PERFECT, bits=2048):
+    cfg = SystemConfig.small(num_cores=num_cores,
+                             threads_per_core=threads_per_core)
+    cfg = cfg.with_signature(signature, bits=bits)
+    return replace(cfg, tm=replace(cfg.tm, version_management="lazy"))
+
+
+def run(system, gen):
+    proc = system.sim.spawn(gen)
+    system.sim.run()
+    return proc.done.value
+
+
+class TestBuffering:
+    def test_stores_invisible_until_commit(self):
+        system = System(lazy_cfg(), seed=1)
+        a, b = system.place_threads(2)
+        run(system, system.manager.begin(a.slot))
+        run(system, a.slot.core.store(a.slot, 0x100, 42))
+        # Memory unchanged; the other core reads the old value freely
+        # (no NACKs during execution in lazy mode).
+        assert system.memory.load(a.translate(0x100)) == 0
+        assert run(system, b.slot.core.load(b.slot, 0x100)) == 0
+        run(system, system.manager.commit(a.slot))
+        assert system.memory.load(a.translate(0x100)) == 42
+        assert run(system, b.slot.core.load(b.slot, 0x100)) == 42
+
+    def test_read_your_own_writes(self):
+        system = System(lazy_cfg(), seed=1)
+        a, _ = system.place_threads(2)
+        run(system, system.manager.begin(a.slot))
+        run(system, a.slot.core.store(a.slot, 0x100, 7))
+        assert run(system, a.slot.core.load(a.slot, 0x100)) == 7
+        old = run(system, a.slot.core.fetch_add(a.slot, 0x100, 3))
+        assert old == 7
+        assert run(system, a.slot.core.load(a.slot, 0x100)) == 10
+        run(system, system.manager.commit(a.slot))
+        assert system.memory.load(a.translate(0x100)) == 10
+
+    def test_abort_is_buffer_discard(self):
+        system = System(lazy_cfg(), seed=1)
+        a, _ = system.place_threads(2)
+        run(system, a.slot.core.store(a.slot, 0x100, 5))  # pre-tx value
+        run(system, system.manager.begin(a.slot))
+        run(system, a.slot.core.store(a.slot, 0x100, 99))
+        undone = run(system, system.manager.abort(a.slot))
+        assert undone == 0, "no log records exist to unroll"
+        assert system.memory.load(a.translate(0x100)) == 5
+        assert not a.ctx.write_buffer
+
+    def test_no_undo_log_traffic(self):
+        system = System(lazy_cfg(), seed=1)
+        a, _ = system.place_threads(2)
+        run(system, system.manager.begin(a.slot))
+        for i in range(10):
+            run(system, a.slot.core.store(a.slot, 0x1000 + i * 64, i))
+        assert system.stats.value("tm.log_appends") == 0
+        run(system, system.manager.commit(a.slot))
+
+    def test_open_nesting_rejected(self):
+        system = System(lazy_cfg(), seed=1)
+        a, _ = system.place_threads(2)
+        run(system, system.manager.begin(a.slot))
+        with pytest.raises(TransactionError):
+            run(system, system.manager.begin(a.slot, is_open=True))
+
+
+class TestCommitTimeDetection:
+    def test_committer_squashes_conflicting_reader(self):
+        system = System(lazy_cfg(), seed=1)
+        a, b = system.place_threads(2)
+        run(system, system.manager.begin(b.slot))
+        run(system, b.slot.core.load(b.slot, 0x100))   # B reads X
+        run(system, system.manager.begin(a.slot))
+        run(system, a.slot.core.store(a.slot, 0x100, 1))  # A writes X
+        run(system, system.manager.commit(a.slot))        # A commits first
+        assert system.stats.value("tm.lazy_squashes") == 1
+        assert not b.ctx.in_tx, "B was squashed"
+        assert b.ctx.aborted_by_os
+
+    def test_disjoint_transactions_unaffected(self):
+        system = System(lazy_cfg(), seed=1)
+        a, b = system.place_threads(2)
+        run(system, system.manager.begin(b.slot))
+        run(system, b.slot.core.load(b.slot, 0x9000))
+        run(system, system.manager.begin(a.slot))
+        run(system, a.slot.core.store(a.slot, 0x100, 1))
+        run(system, system.manager.commit(a.slot))
+        assert system.stats.value("tm.lazy_squashes") == 0
+        assert b.ctx.in_tx
+
+    def test_false_positive_squash_with_tiny_signature(self):
+        """Aliasing write signatures squash innocent bystanders — Bulk's
+        false positives cost aborts, not stalls."""
+        system = System(lazy_cfg(signature=SignatureKind.BIT_SELECT,
+                        bits=4), seed=1)
+        a, b = system.place_threads(2)
+        run(system, system.manager.begin(b.slot))
+        run(system, b.slot.core.load(b.slot, 0x5000))
+        run(system, system.manager.begin(a.slot))
+        # Saturate A's 4-bit write signature: everything aliases.
+        for i in range(4):
+            run(system, a.slot.core.store(a.slot, 0x7000 + i * 64, i))
+        run(system, system.manager.commit(a.slot))
+        assert system.stats.value("tm.lazy_squashes") == 1
+
+    def test_committed_values_propagate(self):
+        """After commit, other cores' stale copies were invalidated."""
+        system = System(lazy_cfg(), seed=1)
+        a, b = system.place_threads(2)
+        assert run(system, b.slot.core.load(b.slot, 0x100)) == 0  # B caches
+        run(system, system.manager.begin(a.slot))
+        run(system, a.slot.core.store(a.slot, 0x100, 8))
+        run(system, system.manager.commit(a.slot))
+        assert run(system, b.slot.core.load(b.slot, 0x100)) == 8
+
+
+class TestLazyWorkloads:
+    def test_counter_exact(self):
+        cfg = lazy_cfg(num_cores=4, threads_per_core=2)
+        wl = SharedCounter(num_threads=8, units_per_thread=5,
+                           compute_between=40)
+        result = run_workload(cfg, wl, keep_system=True)
+        value = result.system.memory.load(
+            result.system.page_table(0).translate(wl.counter))
+        assert value == 40
+        assert result.commits == 40
+
+    def test_bank_balance_conserved(self):
+        cfg = lazy_cfg(num_cores=4, threads_per_core=1,
+                       signature=SignatureKind.BIT_SELECT, bits=64)
+        wl = BankTransfer(num_threads=4, units_per_thread=10, seed=3)
+        result = run_workload(cfg, wl, keep_system=True)
+        assert wl.total_balance(result.system,
+                                result.system.page_table(0)) == 0
+
+    def test_linked_list_membership(self):
+        cfg = lazy_cfg(num_cores=4, threads_per_core=1)
+        wl = LinkedListSet(num_threads=4, units_per_thread=6,
+                           delete_fraction=0.0, seed=12)
+        result = run_workload(cfg, wl, keep_system=True)
+        keys = wl.walk(result.system, result.system.page_table(0))
+        expected, _ = wl.expected_membership()
+        assert keys == list(expected)
+
+    def test_hash_table_counts(self):
+        cfg = lazy_cfg(num_cores=4, threads_per_core=2)
+        wl = HashTable(num_threads=8, units_per_thread=6, seed=14)
+        result = run_workload(cfg, wl, keep_system=True)
+        table = wl.read_table(result.system, result.system.page_table(0))
+        assert table == wl.expected_counts()
+
+
+class TestEagerVsLazyTradeoff:
+    def test_cost_asymmetry(self):
+        """The paper's core argument, measured: eager commits are local
+        and cheap; lazy commits pay token + broadcast + writeback. Lazy
+        aborts are cheap; eager aborts walk the log."""
+        from repro.common.rng import make_rng
+
+        def commit_cost(lazy: bool, blocks: int = 16):
+            cfg = SystemConfig.small(num_cores=2, threads_per_core=1)
+            if lazy:
+                cfg = replace(cfg, tm=replace(
+                    cfg.tm, version_management="lazy"))
+            system = System(cfg, seed=1)
+            a, _ = system.place_threads(2)
+            run(system, system.manager.begin(a.slot))
+            for i in range(blocks):
+                run(system, a.slot.core.store(a.slot, 0x1000 + i * 64, i))
+            t0 = system.sim.now
+            run(system, system.manager.commit(a.slot))
+            return system.sim.now - t0
+
+        assert commit_cost(lazy=False) < commit_cost(lazy=True), (
+            "LogTM-SE's commit is local; the lazy commit pays for "
+            "token + broadcast + writeback")
+
+        def abort_cost(lazy: bool, blocks: int = 16):
+            cfg = SystemConfig.small(num_cores=2, threads_per_core=1)
+            if lazy:
+                cfg = replace(cfg, tm=replace(
+                    cfg.tm, version_management="lazy"))
+            system = System(cfg, seed=1)
+            a, _ = system.place_threads(2)
+            run(system, system.manager.begin(a.slot))
+            for i in range(blocks):
+                run(system, a.slot.core.store(a.slot, 0x1000 + i * 64, i))
+            t0 = system.sim.now
+            run(system, system.manager.abort(a.slot))
+            return system.sim.now - t0
+
+        assert abort_cost(lazy=True) < abort_cost(lazy=False), (
+            "lazy abort discards a buffer; the eager abort walks the log")

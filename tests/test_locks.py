@@ -1,0 +1,71 @@
+"""Tests for the spinlock baseline (test-and-test-and-set)."""
+
+import random
+
+from repro.common.config import SystemConfig
+from repro.core import locks
+from repro.harness.system import System
+
+
+def build(num_cores=2):
+    cfg = SystemConfig.small(num_cores=num_cores)
+    system = System(cfg, seed=1)
+    threads = system.place_threads(num_cores)
+    return system, threads
+
+
+class TestSpinlock:
+    def test_acquire_release(self):
+        system, threads = build()
+        slot = threads[0].slot
+        rng = random.Random(0)
+        proc = system.sim.spawn(
+            locks.acquire(slot.core, slot, 0x100, rng))
+        system.sim.run()
+        assert proc.done.done
+        assert system.memory.load(threads[0].translate(0x100)) == locks.LOCKED
+        proc = system.sim.spawn(locks.release(slot.core, slot, 0x100))
+        system.sim.run()
+        assert system.memory.load(threads[0].translate(0x100)) == locks.UNLOCKED
+        assert system.stats.value("locks.acquires") == 1
+        assert system.stats.value("locks.releases") == 1
+
+    def test_mutual_exclusion_under_contention(self):
+        system, threads = build(num_cores=2)
+        trace = []
+
+        def critical(thread, name, iterations):
+            slot = thread.slot
+            rng = random.Random(hash(name) & 0xFFFF)
+            for _ in range(iterations):
+                yield from locks.acquire(slot.core, slot, 0x100, rng)
+                trace.append(("in", name, system.sim.now))
+                yield 50
+                trace.append(("out", name, system.sim.now))
+                yield from locks.release(slot.core, slot, 0x100)
+
+        procs = [system.sim.spawn(critical(threads[0], "a", 5)),
+                 system.sim.spawn(critical(threads[1], "b", 5))]
+        system.sim.run_until_done(procs, limit=10_000_000)
+        # Critical sections never interleave.
+        depth = 0
+        for kind, _name, _t in trace:
+            depth += 1 if kind == "in" else -1
+            assert 0 <= depth <= 1
+        assert len(trace) == 20
+
+    def test_spin_counts_recorded(self):
+        system, threads = build(num_cores=2)
+        a, b = threads[0].slot, threads[1].slot
+        rng = random.Random(0)
+        # Hold the lock with A, then let B contend.
+        p1 = system.sim.spawn(locks.acquire(a.core, a, 0x100, rng))
+        system.sim.run()
+        assert p1.done.done
+
+        def contender():
+            yield from locks.acquire(b.core, b, 0x100, random.Random(1))
+
+        system.sim.spawn(contender())
+        system.sim.run(until=system.sim.now + 5000)
+        assert system.stats.value("locks.spins") > 0

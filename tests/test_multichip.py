@@ -1,0 +1,208 @@
+"""Tests for the multiple-CMP system (Section 7): two-level directory,
+chip-level sticky states, cross-chip isolation, and full-workload runs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import SignatureKind, SyncMode, SystemConfig
+from repro.common.errors import AbortTransaction
+from repro.harness.runner import run_workload
+from repro.harness.system import System
+from repro.workloads import SharedCounter
+
+
+def build(num_chips=2, cores_per_chip=2, threads_per_core=1):
+    cfg = SystemConfig.multichip(num_chips=num_chips,
+                                 cores_per_chip=cores_per_chip,
+                                 threads_per_core=threads_per_core)
+    system = System(cfg, seed=1)
+    threads = system.place_threads(cfg.total_cores * threads_per_core)
+    return system, threads
+
+
+def run(system, gen):
+    proc = system.sim.spawn(gen)
+    system.sim.run()
+    assert proc.done.done
+    return proc.done.value
+
+
+def cross_chip_pair(system, threads):
+    """Two threads guaranteed to live on different chips."""
+    fabric = system.fabric
+    a = threads[0]
+    for b in threads[1:]:
+        if fabric.chip_of(b.slot.core.core_id) != fabric.chip_of(
+                a.slot.core.core_id):
+            return a, b
+    pytest.fail("no cross-chip thread pair found")
+
+
+class TestBasicCoherence:
+    def test_cross_chip_store_then_load(self):
+        system, threads = build()
+        a, b = cross_chip_pair(system, threads)
+        run(system, a.slot.core.store(a.slot, 0x1000, 42))
+        assert run(system, b.slot.core.load(b.slot, 0x1000)) == 42
+
+    def test_cross_chip_write_invalidates(self):
+        system, threads = build()
+        a, b = cross_chip_pair(system, threads)
+        run(system, a.slot.core.store(a.slot, 0x1000, 1))
+        run(system, b.slot.core.store(b.slot, 0x1000, 2))
+        assert run(system, a.slot.core.load(a.slot, 0x1000)) == 2
+
+    def test_intra_chip_hit_avoids_interchip_traffic(self):
+        system, threads = build(cores_per_chip=2)
+        a = threads[0]
+        run(system, a.slot.core.store(a.slot, 0x1000, 7))
+        before = system.stats.value("coherence.interchip_requests")
+        # A sibling core on the same chip reads: chip has M rights, so the
+        # request is satisfied intra-chip.
+        same_chip = next(
+            t for t in threads[1:]
+            if system.fabric.chip_of(t.slot.core.core_id)
+            == system.fabric.chip_of(a.slot.core.core_id))
+        assert run(system, same_chip.slot.core.load(same_chip.slot,
+                                                    0x1000)) == 7
+        assert system.stats.value("coherence.interchip_requests") == before
+
+    def test_chip_rights_tracked(self):
+        system, threads = build()
+        a, b = cross_chip_pair(system, threads)
+        chip_a = system.fabric.chip_of(a.slot.core.core_id)
+        chip_b = system.fabric.chip_of(b.slot.core.core_id)
+        run(system, a.slot.core.store(a.slot, 0x1000, 1))
+        block = system.amap.block_of(a.translate(0x1000))
+        assert system.fabric.mem_entry_view(block).owner_chip == chip_a
+        run(system, b.slot.core.load(b.slot, 0x1000))
+        mem_entry = system.fabric.mem_entry_view(block)
+        assert mem_entry.owner_chip is None
+        assert mem_entry.sharer_chips == {chip_a, chip_b}
+        assert system.fabric.chip_entry_view(chip_a, block).rights == "S"
+
+
+class TestCrossChipIsolation:
+    def test_remote_chip_read_of_tx_write_stalls(self):
+        system, threads = build()
+        a, b = cross_chip_pair(system, threads)
+        a.ctx.begin(now=0)
+        run(system, a.slot.core.store(a.slot, 0x1000, 9))
+        done = []
+
+        def reader():
+            value = yield from b.slot.core.load(b.slot, 0x1000)
+            done.append(value)
+
+        system.sim.spawn(reader())
+        system.sim.run(until=5000)
+        assert not done, "inter-chip NACK must isolate the write set"
+        assert system.stats.value("coherence.nacks") > 0
+        a.ctx.commit()
+        system.sim.run()
+        assert done == [9]
+
+    def test_deadlock_resolution_across_chips(self):
+        system, threads = build()
+        a, b = cross_chip_pair(system, threads)
+        a.ctx.begin(now=0)   # older
+        b.ctx.begin(now=10)  # younger
+        run(system, a.slot.core.store(a.slot, 0x1000, 1))
+        run(system, b.slot.core.store(b.slot, 0x2000, 2))
+        outcome = {}
+
+        def cross(slot, addr, key, thread):
+            try:
+                yield from slot.core.store(slot, addr, 3)
+                outcome[key] = "done"
+            except AbortTransaction:
+                thread.ctx.abort_all(system.memory, thread.translate)
+                outcome[key] = "abort"
+
+        system.sim.spawn(cross(a.slot, 0x2000, "a", a))
+        system.sim.spawn(cross(b.slot, 0x1000, "b", b))
+        system.sim.run(until=2_000_000)
+        assert outcome.get("b") == "abort"
+        system.sim.run()
+        assert outcome.get("a") == "done"
+
+
+class TestChipLevelSticky:
+    def _overflow_chip_l2(self, system, thread, base=0x100000):
+        """Write enough page-strided blocks to overflow a chip-L2 set.
+
+        Frames are demand-allocated sequentially, so page-strided virtual
+        addresses land one page (8 KB) apart physically; with a 16 KB L2
+        set period they alternate between two sets — writing twice
+        (associativity + 1) blocks overflows both.
+        """
+        cfg = system.cfg.l2
+        stride = system.cfg.page_bytes * 2  # distinct pages, same L1 set
+        slot = thread.slot
+        thread.ctx.begin(now=0)
+        addrs = [base + i * stride
+                 for i in range(2 * (cfg.associativity + 1))]
+        for i, addr in enumerate(addrs):
+            run(system, slot.core.store(slot, addr, i))
+        return addrs
+
+    def test_l2_victimization_goes_sticky_m_at_memory(self):
+        system, threads = build()
+        a = threads[0]
+        chip_a = system.fabric.chip_of(a.slot.core.core_id)
+        self._overflow_chip_l2(system, a)
+        assert system.stats.value("victimization.l2_tx") >= 1
+        assert system.stats.value("coherence.chip_sticky_created") >= 1
+        # Some memory-directory entry carries the sticky chip.
+        sticky_blocks = [blk for blk, e in system.fabric._mem_entries.items()
+                         if chip_a in e.sticky_chips]
+        assert sticky_blocks
+
+    def test_sticky_m_preserves_cross_chip_isolation(self):
+        system, threads = build()
+        a, b = cross_chip_pair(system, threads)
+        addrs = self._overflow_chip_l2(system, a)
+        victim_vaddr = addrs[0]
+        done = []
+
+        def reader():
+            value = yield from b.slot.core.load(b.slot, victim_vaddr)
+            done.append(value)
+
+        system.sim.spawn(reader())
+        system.sim.run(until=5000)
+        assert not done, "sticky-M at memory must keep forwarding checks"
+        a.ctx.commit()
+        system.sim.run()
+        assert done == [0]
+
+
+class TestWorkloadsOnMultichip:
+    def test_shared_counter_exact(self):
+        cfg = SystemConfig.multichip(num_chips=4, cores_per_chip=2)
+        wl = SharedCounter(num_threads=8, units_per_thread=4,
+                           compute_between=50)
+        result = run_workload(cfg, wl, keep_system=True)
+        value = result.system.memory.load(
+            result.system.page_table(0).translate(wl.counter))
+        assert value == 32
+        assert result.counters.get("coherence.interchip_requests", 0) > 0
+
+    def test_counter_exact_with_aliasing_signatures(self):
+        cfg = SystemConfig.multichip(num_chips=2, cores_per_chip=2)
+        cfg = cfg.with_signature(SignatureKind.BIT_SELECT, bits=32)
+        wl = SharedCounter(num_threads=4, units_per_thread=5)
+        result = run_workload(cfg, wl, keep_system=True)
+        value = result.system.memory.load(
+            result.system.page_table(0).translate(wl.counter))
+        assert value == 20
+
+    def test_lock_mode_works(self):
+        cfg = SystemConfig.multichip(num_chips=2, cores_per_chip=2)
+        cfg = cfg.with_sync(SyncMode.LOCKS)
+        wl = SharedCounter(num_threads=4, units_per_thread=4)
+        result = run_workload(cfg, wl, keep_system=True)
+        value = result.system.memory.load(
+            result.system.page_table(0).translate(wl.counter))
+        assert value == 16

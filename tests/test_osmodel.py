@@ -1,0 +1,126 @@
+"""Tests for the OS model: time-slice scheduler and paging daemon running
+against real workloads (the virtualization events of Section 4)."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.rng import make_rng
+from repro.cpu.executor import ThreadExecutor
+from repro.harness.system import System
+from repro.osmodel.paging import PagingDaemon
+from repro.osmodel.scheduler import TimeSliceScheduler
+from repro.workloads import SharedCounter
+
+
+def launch(system, workload, threads, seed=1):
+    """Spawn executors for already-placed (or unplaced) threads."""
+    executors, procs = [], []
+    for i, thread in enumerate(threads):
+        rng = make_rng(seed, "wl", i)
+        ex = ThreadExecutor(system.cfg, thread, system.manager,
+                            workload.program(i, rng), rng, system.stats)
+        executors.append(ex)
+        procs.append(system.sim.spawn(ex.run(), name=f"t{i}"))
+    return executors, procs
+
+
+class TestScheduler:
+    def _run_oversubscribed(self, num_threads=6, num_cores=2, quantum=300,
+                            units=3, inner_compute=0):
+        """More software threads than contexts: scheduling is mandatory."""
+        cfg = SystemConfig.small(num_cores=num_cores, threads_per_core=1)
+        system = System(cfg, seed=1)
+        workload = SharedCounter(num_threads=num_threads,
+                                 units_per_thread=units, compute_between=200,
+                                 inner_compute=inner_compute)
+        threads = [system.new_thread() for _ in range(num_threads)]
+        # Bind only as many as there are contexts; the rest start ready.
+        for thread, slot in zip(threads, system.all_slots()):
+            slot.bind(thread)
+        executors, procs = launch(system, workload, threads)
+        sched = TimeSliceScheduler(system, threads, quantum=quantum,
+                                   rng=make_rng(1, "sched"))
+        system.sim.spawn(sched.run(), name="scheduler")
+        deadline = 20_000_000
+        while not all(p.done.done for p in procs):
+            if system.sim.now > deadline:
+                pytest.fail("oversubscribed run did not finish")
+            system.sim.run(until=system.sim.now + 50_000)
+        sched.stop()
+        system.sim.run(until=system.sim.now + quantum * 4)
+        return system, workload, executors, sched
+
+    def test_all_threads_finish_and_counter_is_exact(self):
+        system, wl, executors, sched = self._run_oversubscribed()
+        total = sum(e.units_done for e in executors)
+        assert total == 18
+        value = system.memory.load(system.page_table(0).translate(wl.counter))
+        assert value == 18, "atomicity across context switches"
+
+    def test_preemptions_happened_mid_transaction(self):
+        # Wide transactions (compute inside the atomic section) guarantee
+        # quanta expire while transactions are open.
+        system, _wl, _ex, sched = self._run_oversubscribed(
+            quantum=150, inner_compute=400)
+        assert sched.preemptions > 0
+        # At least some deschedules caught a thread inside a transaction.
+        assert system.stats.value("os.deschedules_in_tx") > 0
+        assert system.stats.value("os.reschedules_in_tx") > 0
+        assert system.stats.value("os.summary_installs") > 0
+
+    def test_no_oversubscription_still_works(self):
+        cfg = SystemConfig.small(num_cores=2, threads_per_core=1)
+        system = System(cfg, seed=1)
+        wl = SharedCounter(num_threads=2, units_per_thread=3)
+        threads = system.place_threads(2)
+        executors, procs = launch(system, wl, threads)
+        sched = TimeSliceScheduler(system, threads, quantum=500,
+                                   rng=make_rng(2, "s"))
+        system.sim.spawn(sched.run(), name="sched")
+        while not all(p.done.done for p in procs):
+            system.sim.run(until=system.sim.now + 10_000)
+            assert system.sim.now < 10_000_000
+        sched.stop()
+
+    def test_rejects_bad_quantum(self):
+        cfg = SystemConfig.small()
+        system = System(cfg)
+        with pytest.raises(ValueError):
+            TimeSliceScheduler(system, [], quantum=0)
+
+
+class TestPagingDaemon:
+    def test_relocations_preserve_correctness(self):
+        cfg = SystemConfig.small(num_cores=4, threads_per_core=1)
+        system = System(cfg, seed=1)
+        wl = SharedCounter(num_threads=4, units_per_thread=4,
+                           compute_between=300)
+        threads = system.place_threads(4)
+        executors, procs = launch(system, wl, threads)
+        daemon = PagingDaemon(system, system.page_table(0), period=700,
+                              rng=make_rng(3, "pager"))
+        system.sim.spawn(daemon.run(), name="pager")
+        while not all(p.done.done for p in procs):
+            system.sim.run(until=system.sim.now + 50_000)
+            assert system.sim.now < 20_000_000
+        daemon.stop()
+        assert daemon.moves > 0
+        value = system.memory.load(system.page_table(0).translate(wl.counter))
+        assert value == 16, "atomicity across page relocations"
+
+    def test_max_moves_stops_daemon(self):
+        cfg = SystemConfig.small(num_cores=2, threads_per_core=1)
+        system = System(cfg, seed=1)
+        system.page_table(0).translate(0x1000)  # map one page
+        daemon = PagingDaemon(system, system.page_table(0), period=100,
+                              max_moves=2)
+        proc = system.sim.spawn(daemon.run())
+        system.sim.run(until=5_000)
+        assert daemon.moves == 2
+        assert proc.done.done
+
+    def test_rejects_bad_period(self):
+        cfg = SystemConfig.small()
+        system = System(cfg)
+        with pytest.raises(ValueError):
+            PagingDaemon(system, system.page_table(0), period=0)

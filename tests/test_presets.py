@@ -1,0 +1,49 @@
+"""Tests for machine presets."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.presets import cmp_preset, scaling_series, wide_smt_preset
+from repro.harness.runner import run_workload
+from repro.workloads import SharedCounter
+
+
+class TestCmpPreset:
+    def test_keeps_table1_latencies(self):
+        cfg = cmp_preset(num_cores=8)
+        base = SystemConfig.default()
+        assert cfg.memory_latency == base.memory_latency
+        assert cfg.l2.latency == base.l2.latency
+        assert cfg.l1 == base.l1
+
+    def test_grid_fits_cores(self):
+        for cores in (1, 2, 4, 8, 16, 32):
+            cfg = cmp_preset(cores)
+            rows, cols = cfg.mesh_dims
+            assert rows * cols >= cores
+
+    def test_bank_count_tracks_cores(self):
+        assert cmp_preset(4).l2_banks == 4
+        assert cmp_preset(32).l2_banks == 32
+
+    def test_wide_smt(self):
+        cfg = wide_smt_preset(threads_per_core=4, num_cores=8)
+        assert cfg.total_threads == 32
+        assert cfg.threads_per_core == 4
+
+    def test_scaling_series_monotone(self):
+        points = list(scaling_series(max_threads=32))
+        threads = [t for _label, _cfg, t in points]
+        assert threads == [2, 4, 8, 16, 32]
+
+    def test_scaling_series_respects_cap(self):
+        points = list(scaling_series(max_threads=8))
+        assert [t for _l, _c, t in points] == [2, 4, 8]
+
+    def test_presets_actually_run(self):
+        cfg = wide_smt_preset(threads_per_core=4, num_cores=2)
+        wl = SharedCounter(num_threads=8, units_per_thread=3)
+        result = run_workload(cfg, wl, keep_system=True)
+        value = result.system.memory.load(
+            result.system.page_table(0).translate(wl.counter))
+        assert value == 24

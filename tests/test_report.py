@@ -1,0 +1,61 @@
+"""Tests for the report-rendering helpers."""
+
+import pytest
+
+from repro.harness.report import (format_cell, render_bar, render_series,
+                                  render_table)
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["name", "value"], [("a", 1), ("bbb", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("22")
+
+    def test_title(self):
+        out = render_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_floats_formatted(self):
+        out = render_table(["v"], [(1.23456,)])
+        assert "1.23" in out
+        assert "1.2345" not in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_points_and_unit(self):
+        out = render_series("speedup", {"Lock": 1.0, "Perfect": 1.4},
+                            unit="x")
+        assert "speedup [x]" in out
+        assert "Lock" in out and "1.400" in out
+
+    def test_empty(self):
+        assert render_series("empty", {}) == "empty"
+
+
+class TestRenderBar:
+    def test_proportional(self):
+        assert len(render_bar(1.0, scale=2.0, width=40)) == 20
+        assert len(render_bar(2.0, scale=2.0, width=40)) == 40
+
+    def test_clamped(self):
+        assert len(render_bar(10.0, scale=1.0, width=10)) == 10
+        assert render_bar(-1.0, scale=1.0) == ""
+
+
+class TestFormatCell:
+    def test_types(self):
+        assert format_cell(3) == "3"
+        assert format_cell("x") == "x"
+        assert format_cell(1.5) == "1.50"

@@ -1,0 +1,114 @@
+"""Tests for the workload runner and RunResult accounting."""
+
+import pytest
+
+from repro.common.config import SignatureKind, SyncMode, SystemConfig
+from repro.common.errors import ConfigError
+from repro.harness.runner import RunResult, run_perturbed, run_workload
+from repro.workloads import SharedCounter
+
+
+def small_cfg():
+    return SystemConfig.small(num_cores=4)
+
+
+class TestRunWorkload:
+    def test_completes_all_units(self):
+        result = run_workload(small_cfg(),
+                              SharedCounter(num_threads=4, units_per_thread=3))
+        assert result.units == 12
+        assert result.commits == 12
+        assert result.cycles > 0
+
+    def test_counter_value_correct_in_both_modes(self):
+        for sync in (SyncMode.TRANSACTIONS, SyncMode.LOCKS):
+            wl = SharedCounter(num_threads=4, units_per_thread=3)
+            result = run_workload(small_cfg().with_sync(sync), wl,
+                                  keep_system=True)
+            mem = result.system.memory
+            pt = result.system.page_table(0)
+            assert mem.load(pt.translate(wl.counter)) == 12
+
+    def test_deterministic_given_seed(self):
+        a = run_workload(small_cfg(),
+                         SharedCounter(num_threads=4, units_per_thread=3),
+                         seed=5)
+        b = run_workload(small_cfg(),
+                         SharedCounter(num_threads=4, units_per_thread=3),
+                         seed=5)
+        assert a.cycles == b.cycles
+        assert a.counters == b.counters
+
+    def test_different_seeds_perturb(self):
+        a = run_workload(small_cfg(),
+                         SharedCounter(num_threads=4, units_per_thread=3),
+                         seed=1)
+        b = run_workload(small_cfg(),
+                         SharedCounter(num_threads=4, units_per_thread=3),
+                         seed=2)
+        assert a.cycles != b.cycles
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            run_workload(small_cfg(),
+                         SharedCounter(num_threads=64, units_per_thread=1))
+
+    def test_zero_skew_supported(self):
+        result = run_workload(small_cfg(),
+                              SharedCounter(num_threads=2, units_per_thread=2),
+                              start_skew=0)
+        assert result.units == 4
+
+    def test_system_dropped_unless_requested(self):
+        result = run_workload(small_cfg(),
+                              SharedCounter(num_threads=2, units_per_thread=1))
+        assert result.system is None
+
+    def test_config_label_defaults_to_signature(self):
+        cfg = small_cfg().with_signature(SignatureKind.BIT_SELECT, bits=64)
+        result = run_workload(cfg,
+                              SharedCounter(num_threads=2, units_per_thread=1))
+        assert result.config_label == "BS_64"
+
+
+class TestRunResultDerived:
+    def test_false_positive_pct(self):
+        r = RunResult(workload="w", config_label="c", cycles=1, units=1,
+                      counters={"tm.conflicts_total": 10,
+                                "tm.conflicts_false_positive": 4})
+        assert r.false_positive_pct == pytest.approx(40.0)
+
+    def test_false_positive_pct_no_conflicts(self):
+        r = RunResult(workload="w", config_label="c", cycles=1, units=1,
+                      counters={})
+        assert r.false_positive_pct == 0.0
+
+    def test_cycles_per_unit(self):
+        r = RunResult(workload="w", config_label="c", cycles=100, units=4,
+                      counters={})
+        assert r.cycles_per_unit() == 25.0
+
+    def test_victimizations_sums_l1_l2(self):
+        r = RunResult(workload="w", config_label="c", cycles=1, units=1,
+                      counters={"victimization.l1_tx": 2,
+                                "victimization.l2_tx": 3})
+        assert r.victimizations == 5
+
+
+class TestRunPerturbed:
+    def test_returns_ci_over_runs(self):
+        results, ci = run_perturbed(
+            small_cfg(),
+            lambda: SharedCounter(num_threads=4, units_per_thread=2),
+            runs=3, seed=9)
+        assert len(results) == 3
+        assert ci.mean > 0
+        assert len(ci.samples) == 3
+
+    def test_perturbed_runs_differ(self):
+        results, _ = run_perturbed(
+            small_cfg(),
+            lambda: SharedCounter(num_threads=4, units_per_thread=2),
+            runs=3, seed=9)
+        cycles = [r.cycles for r in results]
+        assert len(set(cycles)) > 1

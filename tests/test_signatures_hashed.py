@@ -1,0 +1,208 @@
+"""Tests for the hashed (k-hash Bloom) signature and counting structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import SignatureConfig, SignatureKind
+from repro.common.errors import ConfigError, TransactionError
+from repro.signatures.bitselect import BitSelectSignature
+from repro.signatures.counting import CountingPair, CountingSignature
+from repro.signatures.doublebitselect import DoubleBitSelectSignature
+from repro.signatures.factory import make_signature
+from repro.signatures.hashed import HashedSignature
+from repro.signatures.perfect import PerfectSignature
+from repro.signatures.rwpair import ReadWriteSignature
+
+block_addrs = st.lists(
+    st.integers(min_value=0, max_value=(1 << 28) - 1).map(lambda x: x * 64),
+    min_size=0, max_size=40)
+
+
+class TestHashedSignature:
+    def test_no_false_negatives_basic(self):
+        sig = HashedSignature(bits=256, hashes=4)
+        addrs = [i * 64 * 7 for i in range(100)]
+        for a in addrs:
+            sig.insert(a)
+        assert all(sig.contains(a) for a in addrs)
+
+    @given(addrs=block_addrs,
+           hashes=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60)
+    def test_no_false_negatives_property(self, addrs, hashes):
+        sig = HashedSignature(bits=128, hashes=hashes)
+        for a in addrs:
+            sig.insert(a)
+        for a in addrs:
+            assert sig.contains(a)
+
+    def test_deterministic_across_instances(self):
+        a = HashedSignature(bits=256, hashes=4, seed=9)
+        b = HashedSignature(bits=256, hashes=4, seed=9)
+        a.insert(64 * 123)
+        b.insert(64 * 123)
+        assert a.snapshot() == b.snapshot()
+
+    def test_different_seeds_hash_differently(self):
+        a = HashedSignature(bits=256, hashes=2, seed=1)
+        b = HashedSignature(bits=256, hashes=2, seed=2)
+        a.insert(64 * 5000)
+        b.insert(64 * 5000)
+        assert a.snapshot()[0] != b.snapshot()[0]
+
+    def test_beats_bit_select_at_same_size(self):
+        """Multiple hashes approach the Bloom optimum; single-field decode
+        does not — the motivation for 'more creative signatures'."""
+        import random
+        rng = random.Random(0)
+        bs = BitSelectSignature(bits=512)
+        h4 = HashedSignature(bits=512, hashes=4)
+        inserted = {rng.randrange(1 << 22) * 64 for _ in range(48)}
+        for a in inserted:
+            bs.insert(a)
+            h4.insert(a)
+        bs_fp = h4_fp = probes = 0
+        while probes < 4000:
+            a = rng.randrange(1 << 22) * 64
+            if a in inserted:
+                continue
+            probes += 1
+            bs_fp += bs.contains(a)
+            h4_fp += h4.contains(a)
+        assert h4_fp < bs_fp
+
+    def test_union_and_snapshot(self):
+        a = HashedSignature(bits=128, hashes=3)
+        b = HashedSignature(bits=128, hashes=3)
+        a.insert(64)
+        b.insert(128)
+        a.union_update(b)
+        assert a.contains(64) and a.contains(128)
+        snap = a.snapshot()
+        c = a.spawn_empty()
+        c.restore(snap)
+        assert c.contains(64) and c.contains(128)
+
+    def test_union_parameter_mismatch_rejected(self):
+        a = HashedSignature(bits=128, hashes=3)
+        b = HashedSignature(bits=128, hashes=4)
+        with pytest.raises(ConfigError):
+            a.union_update(b)
+
+    def test_factory_builds_hashed(self):
+        cfg = SignatureConfig(kind=SignatureKind.HASHED, bits=256, hashes=4)
+        sig = make_signature(cfg)
+        assert isinstance(sig, HashedSignature)
+        assert sig.hashes == 4
+        assert cfg.describe() == "H4_256"
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            HashedSignature(bits=100)
+        with pytest.raises(ConfigError):
+            HashedSignature(bits=128, hashes=0)
+
+
+class TestCountingSignature:
+    def _snap(self, *addrs, bits=128):
+        sig = BitSelectSignature(bits=bits)
+        for a in addrs:
+            sig.insert(a)
+        return sig.snapshot()
+
+    def test_add_remove_roundtrip(self):
+        counting = CountingSignature(BitSelectSignature(bits=128))
+        snap = self._snap(64, 128)
+        counting.add(snap)
+        assert counting.summary().contains(64)
+        counting.remove(snap)
+        assert counting.is_empty
+        assert not counting.summary().contains(64)
+
+    def test_shared_bits_survive_one_removal(self):
+        """The whole point: two threads setting the same bit — removing one
+        must keep the bit set for the other."""
+        counting = CountingSignature(BitSelectSignature(bits=128))
+        a = self._snap(64)
+        b = self._snap(64, 192)
+        counting.add(a)
+        counting.add(b)
+        counting.remove(a)
+        summary = counting.summary()
+        assert summary.contains(64), "bit still referenced by b"
+        assert summary.contains(192)
+
+    def test_matches_full_reunion(self):
+        """Incremental counts must equal re-unioning from scratch."""
+        import random
+        rng = random.Random(3)
+        counting = CountingSignature(BitSelectSignature(bits=256))
+        snaps = []
+        for _ in range(6):
+            addrs = [rng.randrange(1 << 16) * 64 for _ in range(5)]
+            snaps.append(self._snap(*addrs, bits=256))
+            counting.add(snaps[-1])
+        counting.remove(snaps[2])
+        counting.remove(snaps[4])
+        expected = BitSelectSignature(bits=256)
+        for i, snap in enumerate(snaps):
+            if i not in (2, 4):
+                expected.union_snapshot(snap)
+        assert counting.summary().snapshot() == expected.snapshot()
+
+    def test_underflow_rejected(self):
+        counting = CountingSignature(BitSelectSignature(bits=128))
+        with pytest.raises(TransactionError):
+            counting.remove(self._snap(64))
+
+    def test_works_with_perfect(self):
+        counting = CountingSignature(PerfectSignature())
+        a = PerfectSignature()
+        a.insert(64)
+        counting.add(a.snapshot())
+        assert counting.summary().contains(64)
+        counting.remove(a.snapshot())
+        assert not counting.summary().contains(64)
+
+    def test_works_with_dbs_tuple_state(self):
+        counting = CountingSignature(DoubleBitSelectSignature(bits=64))
+        a = DoubleBitSelectSignature(bits=64)
+        a.insert(64 * 3)
+        counting.add(a.snapshot())
+        assert counting.summary().contains(64 * 3)
+
+    def test_copy_is_independent(self):
+        counting = CountingSignature(BitSelectSignature(bits=128))
+        snap = self._snap(64)
+        counting.add(snap)
+        clone = counting.copy()
+        clone.remove(snap)
+        assert counting.summary().contains(64)
+        assert not clone.summary().contains(64)
+
+
+class TestCountingPair:
+    def _pair_snap(self, reads, writes):
+        pair = ReadWriteSignature(BitSelectSignature(bits=128),
+                                  BitSelectSignature(bits=128))
+        for a in reads:
+            pair.insert_read(a)
+        for a in writes:
+            pair.insert_write(a)
+        return pair.snapshot()
+
+    def test_summary_into_with_exclusion(self):
+        counting = CountingPair(ReadWriteSignature(
+            BitSelectSignature(bits=128), BitSelectSignature(bits=128)))
+        mine = self._pair_snap([64], [128])
+        other = self._pair_snap([192], [256])
+        counting.add(mine)
+        counting.add(other)
+        target = ReadWriteSignature(BitSelectSignature(bits=128),
+                                    BitSelectSignature(bits=128))
+        counting.summary_into(target, exclude=mine)
+        assert not target.read.contains(64)
+        assert not target.write.contains(128)
+        assert target.read.contains(192)
+        assert target.write.contains(256)
+        assert counting.members == 2  # exclusion does not mutate

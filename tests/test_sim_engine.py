@@ -1,0 +1,194 @@
+"""Tests for the discrete-event kernel (engine, futures, resources)."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.future import Future, Signal
+from repro.sim.resources import SimLock
+
+
+class TestScheduling:
+    def test_actions_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, lambda: order.append("b"))
+        sim.schedule(5, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 20
+
+    def test_fifo_among_equal_times(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(7, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_until_stops_early(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(5, lambda: hits.append(5))
+        sim.schedule(50, lambda: hits.append(50))
+        sim.run(until=10)
+        assert hits == [5]
+        assert sim.now == 10
+        sim.run()
+        assert hits == [5, 50]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+
+class TestProcesses:
+    def test_delay_yields_advance_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield 10
+            yield 5
+            return "done"
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.done.done
+        assert p.done.value == "done"
+        assert sim.now == 15
+
+    def test_future_wait_and_resume_value(self):
+        sim = Simulator()
+        fut = Future("f")
+        seen = []
+
+        def waiter():
+            value = yield fut
+            seen.append((sim.now, value))
+
+        sim.spawn(waiter())
+        sim.schedule(42, lambda: fut.resolve("payload"))
+        sim.run()
+        assert seen == [(42, "payload")]
+
+    def test_yield_from_composition(self):
+        sim = Simulator()
+
+        def inner():
+            yield 3
+            return 7
+
+        def outer():
+            value = yield from inner()
+            yield 2
+            return value + 1
+
+        p = sim.spawn(outer())
+        sim.run()
+        assert p.done.value == 8
+        assert sim.now == 5
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nope"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_kill_stops_process(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield 10
+
+        p = sim.spawn(forever())
+        sim.run(until=100)
+        p.kill()
+        assert not p.alive
+        assert p.done.done
+
+    def test_run_until_done_detects_deadlock(self):
+        sim = Simulator()
+        fut = Future("never")
+
+        def stuck():
+            yield fut
+
+        p = sim.spawn(stuck())
+        with pytest.raises(DeadlockError):
+            sim.run_until_done([p])
+
+    def test_run_until_done_respects_limit(self):
+        sim = Simulator()
+
+        def slow():
+            yield 10_000
+
+        p = sim.spawn(slow())
+        with pytest.raises(DeadlockError):
+            sim.run_until_done([p], limit=100)
+
+
+class TestFuture:
+    def test_double_resolve_rejected(self):
+        fut = Future("x")
+        fut.resolve(1)
+        with pytest.raises(SimulationError):
+            fut.resolve(2)
+
+    def test_value_before_resolve_rejected(self):
+        with pytest.raises(SimulationError):
+            Future("x").value
+
+    def test_callback_after_resolve_runs_immediately(self):
+        fut = Future("x")
+        fut.resolve(9)
+        seen = []
+        fut.add_callback(seen.append)
+        assert seen == [9]
+
+
+class TestSignal:
+    def test_fire_wakes_all_current_waiters(self):
+        sig = Signal("s")
+        futs = [sig.wait() for _ in range(3)]
+        assert sig.fire("v") == 3
+        assert all(f.done and f.value == "v" for f in futs)
+
+    def test_fire_does_not_affect_later_waiters(self):
+        sig = Signal("s")
+        sig.fire()
+        fut = sig.wait()
+        assert not fut.done
+        assert sig.waiter_count == 1
+
+
+class TestSimLock:
+    def test_mutual_exclusion_and_fifo(self):
+        sim = Simulator()
+        lock = SimLock("l")
+        trace = []
+
+        def worker(name, hold):
+            yield from lock.acquire()
+            trace.append(("acq", name, sim.now))
+            yield hold
+            trace.append(("rel", name, sim.now))
+            lock.release()
+
+        sim.spawn(worker("a", 10))
+        sim.spawn(worker("b", 10))
+        sim.spawn(worker("c", 10))
+        sim.run()
+        # Strict alternation: acquire happens only after previous release.
+        assert [t[0] for t in trace] == ["acq", "rel"] * 3
+        assert [t[1] for t in trace] == ["a", "a", "b", "b", "c", "c"]
+
+    def test_release_unheld_raises(self):
+        with pytest.raises(SimulationError):
+            SimLock().release()

@@ -1,0 +1,81 @@
+"""Tests for the sweep utility."""
+
+import pytest
+
+from repro.common.config import SignatureKind, SyncMode, SystemConfig
+from repro.harness.sweep import (run_sweep, signature_design_variants,
+                                 signature_size_variants)
+from repro.workloads import SharedCounter
+
+
+def small():
+    return SystemConfig.small(num_cores=2, threads_per_core=1)
+
+
+class TestRunSweep:
+    def _factory(self):
+        return lambda: SharedCounter(num_threads=2, units_per_thread=3)
+
+    def test_runs_every_variant(self):
+        variants = [("a", small()),
+                    ("b", small().with_signature(SignatureKind.BIT_SELECT,
+                                                 bits=64))]
+        sweep = run_sweep(variants, self._factory())
+        assert sweep.labels() == ["a", "b"]
+        assert sweep.cycles("a") > 0
+        assert sweep.results["b"].config_label == "b"
+
+    def test_speedup_vs_baseline(self):
+        variants = [("locks", small().with_sync(SyncMode.LOCKS)),
+                    ("tm", small())]
+        sweep = run_sweep(variants, self._factory(),
+                          baseline_label="locks")
+        assert sweep.speedup("locks") == pytest.approx(1.0)
+        assert sweep.speedup("tm") > 0
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep([("x", small()), ("x", small())], self._factory())
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep([("a", small())], self._factory(),
+                      baseline_label="nope")
+
+    def test_table_rendering(self):
+        sweep = run_sweep([("only", small())], self._factory())
+        out = sweep.table(title="My sweep")
+        assert "My sweep" in out
+        assert "only" in out
+
+    def test_speedup_without_baseline_rejected(self):
+        sweep = run_sweep([("a", small())], self._factory())
+        with pytest.raises(ValueError):
+            sweep.speedup("a")
+
+
+class TestVariantBuilders:
+    def test_size_series(self):
+        variants = signature_size_variants(SignatureKind.BIT_SELECT,
+                                           sizes=(64, 2048), base=small())
+        labels = [label for label, _ in variants]
+        assert labels == ["BS_64", "BS_2Kb"]
+        assert variants[0][1].tm.signature.bits == 64
+
+    def test_design_series(self):
+        variants = signature_design_variants(256, base=small())
+        labels = [label for label, _ in variants]
+        assert labels == ["Perfect", "BS_256", "DBS_256", "CBS_256",
+                          "H4_256"]
+        kinds = {cfg.tm.signature.kind for _, cfg in variants}
+        assert len(kinds) == 5
+
+    def test_end_to_end_size_sweep(self):
+        variants = signature_size_variants(SignatureKind.BIT_SELECT,
+                                           sizes=(16, 1024), base=small())
+        sweep = run_sweep(variants,
+                          lambda: SharedCounter(num_threads=2,
+                                                units_per_thread=4))
+        # Both sizes complete the same work correctly.
+        assert sweep.results["BS_16"].commits == 8
+        assert sweep.results["BS_1Kb"].commits == 8
