@@ -20,8 +20,8 @@ from repro.harness.experiments import figure4, render_figure4
 from repro.harness.report import render_bar
 
 
-def test_figure4_speedup_vs_locks(benchmark, scale):
-    cells = run_once(benchmark, figure4, scale)
+def test_figure4_speedup_vs_locks(benchmark, scale, jobs):
+    cells = run_once(benchmark, figure4, scale, jobs=jobs)
     print()
     print(render_figure4(cells))
     speedup = defaultdict(dict)

@@ -17,8 +17,8 @@ from conftest import run_once
 from repro.harness.experiments import render_table3, table3
 
 
-def test_table3_signature_size_impact(benchmark, scale):
-    rows = run_once(benchmark, table3, scale)
+def test_table3_signature_size_impact(benchmark, scale, jobs):
+    rows = run_once(benchmark, table3, scale, jobs=jobs)
     print()
     print(render_table3(rows))
     by_key = {(r.workload, r.signature): r for r in rows}

@@ -4,6 +4,11 @@ Scale control: set ``REPRO_BENCH_SCALE=quick`` for a fast smoke pass
 (8 threads, few units) or ``full`` (default) for the paper's 32-context
 machine with enough work for stable shapes.
 
+Parallelism: grid experiments (Table 3, Figure 4) fan their cells out
+over ``REPRO_BENCH_JOBS`` worker processes (default: one per CPU at FULL
+scale, serial at quick scale — quick runs are too short to amortize
+workers). Results are identical either way; see docs/harness.md.
+
 Every benchmark prints the regenerated table/figure rows — run with
 ``pytest benchmarks/ --benchmark-only -s`` to see them inline; they are
 also echoed into the benchmark's ``extra_info``.
@@ -22,9 +27,23 @@ def bench_scale() -> ExperimentScale:
     return FULL
 
 
+def bench_jobs() -> int:
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env:
+        return int(env)
+    if bench_scale() is QUICK:
+        return 1
+    return os.cpu_count() or 1
+
+
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    return bench_jobs()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -40,7 +40,9 @@ from repro.common.errors import (
     WorkloadError,
 )
 from repro.common.stats import ConfidenceInterval, StatsRegistry
+from repro.harness.parallel import ResultCache, SweepExecutionError
 from repro.harness.runner import RunResult, run_perturbed, run_workload
+from repro.harness.sweep import SweepResult, run_sweep
 from repro.harness.system import System
 from repro.signatures.factory import make_rw_pair, make_signature
 
@@ -54,11 +56,14 @@ __all__ = [
     "LockImpl",
     "ConfigError",
     "ReproError",
+    "ResultCache",
     "RunResult",
     "SignatureConfig",
     "SignatureKind",
     "SimulationError",
     "StatsRegistry",
+    "SweepExecutionError",
+    "SweepResult",
     "SyncMode",
     "System",
     "SystemConfig",
@@ -69,6 +74,7 @@ __all__ = [
     "make_rw_pair",
     "make_signature",
     "run_perturbed",
+    "run_sweep",
     "run_workload",
     "__version__",
 ]

@@ -7,22 +7,36 @@ a script::
     python -m repro table2 --scale quick
     python -m repro fig3
     python -m repro fig4 --scale quick --workloads Cholesky Mp3d
-    python -m repro table3 --scale quick
+    python -m repro table3 --scale quick --jobs 4
     python -m repro victimization --scale quick
     python -m repro table4
     python -m repro run BerkeleyDB --threads 16 --units 2 --signature bs \\
         --bits 2048
+    python -m repro sweep Mp3d --mode sizes --sizes 64 2048 --jobs 4
+
+The global ``--json`` flag switches every command from rendered tables to
+structured JSON records (``RunResult``/``SweepResult`` serializations or
+experiment row dicts) for downstream tooling. ``sweep`` keeps an on-disk
+result cache (``~/.cache/repro/sweeps`` or ``$REPRO_CACHE_DIR``): repeat
+an invocation and only missing cells execute.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
-from repro.common.config import SignatureKind, SyncMode, SystemConfig
+from repro.common.config import (SignatureKind, SyncMode, SystemConfig,
+                                 figure4_variants)
 from repro.harness import experiments as E
+from repro.harness.parallel import (ResultCache, SweepExecutionError,
+                                    run_parallel_sweep)
 from repro.harness.runner import run_workload
+from repro.harness.sweep import (signature_design_variants,
+                                 signature_size_variants)
 
 
 def _scale(name: str) -> E.ExperimentScale:
@@ -35,40 +49,82 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
                         help="experiment size (default: quick)")
 
 
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_nonneg_int, default=1,
+                        help="parallel worker processes (0 = one per CPU; "
+                             "default: 1, serial)")
+
+
+def _emit_json(payload) -> int:
+    """Print one JSON document (dataclass rows are serialized as dicts)."""
+    def default(obj):
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            return dataclasses.asdict(obj)
+        raise TypeError(
+            f"not JSON serializable: {type(obj).__name__}")
+    print(json.dumps(payload, indent=2, default=default))
+    return 0
+
+
 def _cmd_table1(args) -> int:
+    if args.json:
+        return _emit_json([{"parameter": k, "setting": v}
+                           for k, v in E.table1_rows()])
     print(E.render_table1())
     return 0
 
 
 def _cmd_table2(args) -> int:
-    print(E.render_table2(E.table2(_scale(args.scale), seed=args.seed)))
+    rows = E.table2(_scale(args.scale), seed=args.seed)
+    if args.json:
+        return _emit_json(rows)
+    print(E.render_table2(rows))
     return 0
 
 
 def _cmd_fig3(args) -> int:
-    print(E.render_figure3(E.figure3(seed=args.seed)))
+    points = E.figure3(seed=args.seed)
+    if args.json:
+        return _emit_json(points)
+    print(E.render_figure3(points))
     return 0
 
 
 def _cmd_fig4(args) -> int:
     cells = E.figure4(_scale(args.scale), seed=args.seed,
-                      workloads=args.workloads)
+                      workloads=args.workloads, jobs=args.jobs)
+    if args.json:
+        return _emit_json(cells)
     print(E.render_figure4(cells))
     return 0
 
 
 def _cmd_table3(args) -> int:
-    print(E.render_table3(E.table3(_scale(args.scale), seed=args.seed)))
+    rows = E.table3(_scale(args.scale), seed=args.seed, jobs=args.jobs)
+    if args.json:
+        return _emit_json(rows)
+    print(E.render_table3(rows))
     return 0
 
 
 def _cmd_victimization(args) -> int:
-    print(E.render_victimization(
-        E.victimization(_scale(args.scale), seed=args.seed)))
+    rows = E.victimization(_scale(args.scale), seed=args.seed)
+    if args.json:
+        return _emit_json(rows)
+    print(E.render_victimization(rows))
     return 0
 
 
 def _cmd_table4(args) -> int:
+    if args.json:
+        return _emit_json(E.TABLE4_MATRIX)
     print(E.render_table4())
     return 0
 
@@ -87,9 +143,13 @@ def _cmd_run(args) -> int:
     workload = E.WORKLOAD_CLASSES[args.workload](
         num_threads=args.threads, units_per_thread=args.units,
         seed=args.seed)
+    # run_workload labels the run itself ("locks" for the lock baseline,
+    # the signature name otherwise), so output is uniform across modes.
     result = run_workload(cfg, workload, seed=args.seed)
+    if args.json:
+        return _emit_json(result.to_dict())
     print(f"workload   : {workload.describe()}")
-    print(f"config     : {'locks' if args.locks else result.config_label}")
+    print(f"config     : {result.config_label}")
     print(f"cycles     : {result.cycles:,}")
     print(f"units      : {result.units}")
     print(f"commits    : {result.commits}")
@@ -99,12 +159,73 @@ def _cmd_run(args) -> int:
     return 0
 
 
+#: sweep --mode choices: how the variant family is built.
+SWEEP_MODES = ("designs", "sizes", "figure4")
+
+
+def _sweep_variants(args):
+    """(variants, baseline_label) for the chosen sweep mode."""
+    base = SystemConfig.default()
+    if args.mode == "designs":
+        return (signature_design_variants(args.bits, base=base,),
+                "Perfect")
+    if args.mode == "sizes":
+        kind = SignatureKind(args.kind)
+        return (signature_size_variants(kind, sizes=args.sizes, base=base,
+                                        granularity=args.granularity),
+                None)
+    return list(figure4_variants(base)), "Lock"
+
+
+def _cmd_sweep(args) -> int:
+    if args.workload not in E.WORKLOAD_CLASSES:
+        print(f"unknown workload {args.workload!r}; choose from "
+              f"{sorted(E.WORKLOAD_CLASSES)}", file=sys.stderr)
+        return 2
+    variants, baseline = _sweep_variants(args)
+    cls = E.WORKLOAD_CLASSES[args.workload]
+
+    def factory():
+        return cls(num_threads=args.threads, units_per_thread=args.units,
+                   seed=args.seed)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    # Always the engine (even jobs=1, no cache): identical results to the
+    # serial path, but the run carries execution metadata to report.
+    try:
+        sweep = run_parallel_sweep(variants, factory, seed=args.seed,
+                                   baseline_label=baseline, jobs=args.jobs,
+                                   cache=cache, timeout=args.timeout,
+                                   retries=args.retries)
+    except SweepExecutionError as exc:
+        print(f"sweep failed: {len(exc.failures)} of {len(variants)} "
+              f"cell(s), {len(exc.completed)} completed", file=sys.stderr)
+        for label, reason in exc.failures.items():
+            print(f"  {label}: {reason}", file=sys.stderr)
+        return 1
+    if args.json:
+        return _emit_json(sweep.to_dict())
+    title = f"Sweep: {args.workload} ({args.mode})"
+    print(sweep.table(title=title))
+    if sweep.meta is not None:
+        cache_info = sweep.meta["cache"]
+        print(f"jobs={sweep.meta['jobs']}  "
+              f"wall={sweep.meta['wall_time']:.2f}s  "
+              f"cache: {cache_info['hits']} hit(s), "
+              f"{cache_info['misses']} miss(es)"
+              + ("" if cache_info["enabled"] else " (disabled)"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="LogTM-SE reproduction: regenerate the paper's "
                     "tables and figures.")
     parser.add_argument("--seed", type=int, default=0xC0FFEE)
+    parser.add_argument("--json", action="store_true",
+                        help="emit structured JSON records instead of "
+                             "rendered tables")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="Table 1: system parameters"
@@ -116,11 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
                    ).set_defaults(fn=_cmd_fig3)
     p = sub.add_parser("fig4", help="Figure 4: speedup vs locks")
     _add_scale(p)
+    _add_jobs(p)
     p.add_argument("--workloads", nargs="+", default=None,
                    choices=sorted(E.WORKLOAD_CLASSES))
     p.set_defaults(fn=_cmd_fig4)
     p = sub.add_parser("table3", help="Table 3: signature size impact")
     _add_scale(p)
+    _add_jobs(p)
     p.set_defaults(fn=_cmd_table3)
     p = sub.add_parser("victimization", help="Result 4: victimization")
     _add_scale(p)
@@ -138,6 +261,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--locks", action="store_true",
                    help="run the lock baseline instead of transactions")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run one workload across a config family (parallel, cached)")
+    p.add_argument("workload", help="workload name (e.g. Mp3d)")
+    p.add_argument("--mode", choices=SWEEP_MODES, default="designs",
+                   help="variant family: all signature designs at --bits, "
+                        "one --kind across --sizes, or the six Figure 4 "
+                        "configs (default: designs)")
+    p.add_argument("--kind", default="bs",
+                   choices=[k.value for k in SignatureKind
+                            if k is not SignatureKind.PERFECT],
+                   help="signature design for --mode sizes")
+    p.add_argument("--sizes", type=int, nargs="+",
+                   default=[64, 256, 2048],
+                   help="signature bit sizes for --mode sizes")
+    p.add_argument("--bits", type=int, default=2048,
+                   help="signature bits for --mode designs")
+    p.add_argument("--granularity", type=int, default=1024,
+                   help="CBS macroblock bytes (sizes mode)")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--units", type=int, default=2)
+    _add_jobs(p)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-variant wall-clock timeout in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="relaunches after a worker crash (default: 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always execute; do not read or write the cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro/sweeps)")
+    p.set_defaults(fn=_cmd_sweep)
     return parser
 
 

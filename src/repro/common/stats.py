@@ -98,6 +98,31 @@ class Histogram:
         self._total = self._sum = self._max = 0
         self._min = -1
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation: name plus sorted (sample, count) pairs."""
+        return {"name": self.name,
+                "counts": [[sample, count] for sample, count in self.items()]}
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "Histogram":
+        """Inverse of :meth:`to_dict` (used by the sweep result cache/JSON)."""
+        hist = Histogram(str(data["name"]))
+        for sample, count in data["counts"]:
+            hist._counts[int(sample)] = int(count)
+            hist._total += int(count)
+            hist._sum += int(sample) * int(count)
+            if hist._min < 0 or sample < hist._min:
+                hist._min = int(sample)
+            if sample > hist._max:
+                hist._max = int(sample)
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (self.name == other.name
+                and dict(self._counts) == dict(other._counts))
+
     def __repr__(self) -> str:
         return (f"Histogram({self.name}: n={self._total}, mean={self.mean:.2f},"
                 f" max={self._max})")

@@ -1,5 +1,9 @@
-"""Experiment harness: system builder, runner, experiments, reports."""
+"""Experiment harness: system builder, runner, experiments, reports,
+parallel sweep execution and the on-disk result cache."""
 
+from repro.harness.parallel import (ResultCache, RunTask,
+                                    SweepExecutionError, TaskOutcome,
+                                    execute_tasks, run_parallel_sweep)
 from repro.harness.runner import RunResult, run_perturbed, run_workload
 from repro.harness.sweep import (SweepResult, run_sweep,
                                  signature_design_variants,
@@ -7,7 +11,8 @@ from repro.harness.sweep import (SweepResult, run_sweep,
 from repro.harness.system import System
 from repro.harness.trace import TraceEvent, TraceRecorder
 
-__all__ = ["RunResult", "SweepResult", "System", "TraceEvent",
-           "TraceRecorder", "run_perturbed", "run_sweep",
-           "run_workload", "signature_design_variants",
-           "signature_size_variants"]
+__all__ = ["ResultCache", "RunResult", "RunTask", "SweepExecutionError",
+           "SweepResult", "System", "TaskOutcome", "TraceEvent",
+           "TraceRecorder", "execute_tasks", "run_parallel_sweep",
+           "run_perturbed", "run_sweep", "run_workload",
+           "signature_design_variants", "signature_size_variants"]

@@ -17,10 +17,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import (CoherenceStyle, SignatureKind, SyncMode,
                                  SystemConfig, figure4_variants)
-from repro.common.rng import DEFAULT_SEED, make_rng
+from repro.common.rng import DEFAULT_SEED, make_rng, perturbed_seeds
 from repro.common.stats import ConfidenceInterval
+from repro.harness.parallel import RunTask, execute_tasks
 from repro.harness.report import render_series, render_table
 from repro.harness.runner import RunResult, run_perturbed, run_workload
+from repro.harness.sweep import run_sweep
 from repro.signatures.factory import make_signature
 from repro.common.config import SignatureConfig
 from repro.workloads import (BerkeleyDB, Cholesky, Mp3d, Radiosity, Raytrace,
@@ -239,17 +241,54 @@ class Figure4Cell:
 
 def figure4(scale: ExperimentScale = QUICK, seed: int = DEFAULT_SEED,
             base_cfg: Optional[SystemConfig] = None,
-            workloads: Optional[Sequence[str]] = None) -> List[Figure4Cell]:
-    """Run every (workload x variant) pair; speedup is vs. the Lock bars."""
+            workloads: Optional[Sequence[str]] = None,
+            jobs: Optional[int] = 1, cache=None) -> List[Figure4Cell]:
+    """Run every (workload x variant) pair; speedup is vs. the Lock bars.
+
+    ``jobs``/``cache`` fan the (workload x variant x perturbed-run) cells
+    out over the parallel sweep engine; the serial path (``jobs=1``, no
+    cache) is unchanged and the parallel one returns identical cells.
+    """
     base = base_cfg or SystemConfig.default()
     names = list(workloads or WORKLOAD_CLASSES)
+    variant_list = list(figure4_variants(base))
     cells: List[Figure4Cell] = []
+
+    if jobs == 1 and cache is None:
+        for name in names:
+            lock_cycles: Optional[float] = None
+            for label, cfg in variant_list:
+                factory = lambda: make_workload(name, scale, seed)
+                results, ci = run_perturbed(cfg, factory, runs=scale.runs,
+                                            seed=seed, config_label=label)
+                if label == "Lock":
+                    lock_cycles = ci.mean
+                speedup = (lock_cycles / ci.mean) if lock_cycles else 0.0
+                rel_hw = ((ci.half_width / ci.mean) * speedup
+                          if ci.mean else 0.0)
+                cells.append(Figure4Cell(workload=name, variant=label,
+                                         speedup=speedup,
+                                         ci_half_width=rel_hw,
+                                         cycles=ci.mean))
+        return cells
+
+    # Parallel path: every (workload, variant, perturbed run) is one
+    # independent cell. Same seeds run_perturbed would use.
+    run_seeds = perturbed_seeds(seed, scale.runs)
+    tasks = [RunTask(key=f"{name}/{label}#{i}", label=label, cfg=cfg,
+                     make_workload=(
+                         lambda name=name: make_workload(name, scale, seed)),
+                     seed=run_seed)
+             for name in names
+             for label, cfg in variant_list
+             for i, run_seed in enumerate(run_seeds)]
+    outcomes = execute_tasks(tasks, jobs=jobs, cache=cache)
     for name in names:
-        lock_cycles: Optional[float] = None
-        for label, cfg in figure4_variants(base):
-            factory = lambda: make_workload(name, scale, seed)
-            results, ci = run_perturbed(cfg, factory, runs=scale.runs,
-                                        seed=seed, config_label=label)
+        lock_cycles = None
+        for label, _ in variant_list:
+            samples = [float(outcomes[f"{name}/{label}#{i}"].result.cycles)
+                       for i in range(len(run_seeds))]
+            ci = ConfidenceInterval.from_samples(samples)
             if label == "Lock":
                 lock_cycles = ci.mean
             speedup = (lock_cycles / ci.mean) if lock_cycles else 0.0
@@ -295,18 +334,29 @@ TABLE3_SIGNATURES: List[Tuple[str, SignatureKind, int, int]] = [
 
 def table3(scale: ExperimentScale = QUICK, seed: int = DEFAULT_SEED,
            workloads: Sequence[str] = ("BerkeleyDB", "Raytrace"),
-           base_cfg: Optional[SystemConfig] = None) -> List[Table3Row]:
+           base_cfg: Optional[SystemConfig] = None,
+           jobs: Optional[int] = 1, cache=None) -> List[Table3Row]:
+    """One sweep per workload over the Table 3 signature family.
+
+    ``jobs``/``cache`` are forwarded to :func:`repro.harness.run_sweep`
+    (``jobs=1`` without a cache is the serial path).
+    """
     base = base_cfg or SystemConfig.default()
     rows: List[Table3Row] = []
     for name in workloads:
+        variants = []
         for label, kind, bits, granularity in TABLE3_SIGNATURES:
             if kind is SignatureKind.PERFECT:
                 cfg = base.with_signature(kind)
             else:
                 cfg = base.with_signature(kind, bits=bits,
                                           granularity=granularity)
-            result = run_workload(cfg, make_workload(name, scale, seed),
-                                  seed=seed, config_label=label)
+            variants.append((label, cfg))
+        sweep = run_sweep(variants,
+                          lambda name=name: make_workload(name, scale, seed),
+                          seed=seed, jobs=jobs, cache=cache)
+        for label, _ in variants:
+            result = sweep.results[label]
             rows.append(Table3Row(
                 workload=name, signature=label,
                 transactions=result.commits, aborts=result.aborts,

@@ -1,0 +1,421 @@
+"""Parallel sweep execution with an on-disk result cache.
+
+The paper's evaluation artifacts are all "one workload x many configs"
+grids, and every cell is an independent, deterministic function of
+``(config, workload, seed)``. This module exploits both properties:
+
+* :func:`execute_tasks` fans :class:`RunTask` cells out over
+  ``multiprocessing`` workers (``jobs`` at a time), with a per-task
+  wall-clock ``timeout`` and retry-on-worker-crash. A task that fails is
+  recorded and its siblings keep running; the error raised at the end
+  (:class:`SweepExecutionError`) carries every completed result.
+* :class:`ResultCache` is a content-addressed on-disk cache keyed by
+  ``(code version, config, workload, seed, label, cycle limit)``:
+  re-running a sweep — or resuming one that was interrupted — only
+  executes the missing cells. Any change to the ``repro`` sources
+  invalidates the whole cache (the key embeds a hash of the package).
+
+``run_parallel_sweep`` is the engine behind ``run_sweep(..., jobs=N)``;
+see :mod:`repro.harness.sweep` for the serial semantics it preserves.
+
+Worker processes are started with the ``fork`` method where available
+(Linux/macOS-with-fork), so workload factories may be arbitrary closures.
+On spawn-only platforms the factory must be picklable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ReproError
+from repro.common.rng import DEFAULT_SEED
+from repro.harness.runner import (DEFAULT_CYCLE_LIMIT, RunResult,
+                                  run_workload)
+from repro.workloads.base import Workload
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class SweepExecutionError(ReproError):
+    """One or more sweep cells failed; sibling results are preserved.
+
+    ``completed`` maps task key -> :class:`RunResult` for every cell that
+    did finish; ``failures`` maps task key -> human-readable reason.
+    """
+
+    def __init__(self, message: str,
+                 completed: Optional[Dict[str, RunResult]] = None,
+                 failures: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.completed = dict(completed or {})
+        self.failures = dict(failures or {})
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of every ``.py`` file in the installed ``repro`` package.
+
+    Used as the cache key's code component: any source change invalidates
+    all cached results (conservative, but sweeps are cheap to re-run next
+    to the cost of trusting a stale model). Computed once per process.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def workload_fingerprint(workload: Workload) -> str:
+    """Cache-key component identifying a workload instance.
+
+    ``describe()`` covers the thread/unit geometry; class identity and the
+    construction seed cover the generated layout (workload generators are
+    deterministic functions of their constructor arguments).
+    """
+    cls = type(workload)
+    return (f"{cls.__module__}.{cls.__qualname__}"
+            f"|{workload.describe()}|seed={workload.seed}")
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+class ResultCache:
+    """Content-addressed on-disk store of pickled :class:`RunResult`.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the SHA-256 of
+    the canonical ``(code version, config repr, workload fingerprint, seed,
+    label, cycle limit)`` tuple. Writes are atomic (temp file + rename), so
+    concurrent sweeps sharing a cache directory are safe. Corrupt or
+    unreadable entries count as misses and are re-executed.
+    """
+
+    def __init__(self, root: Optional[object] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, cfg: SystemConfig, fingerprint: str, seed: int,
+            label: str, cycle_limit: int = DEFAULT_CYCLE_LIMIT) -> str:
+        payload = "\n".join([code_version(), repr(cfg), fingerprint,
+                             str(seed), label, str(cycle_limit)])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None (counted as hit/miss)."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if not isinstance(result, RunResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: RunResult) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+# ---------------------------------------------------------------------------
+# Task execution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunTask:
+    """One independent sweep cell: run ``make_workload()`` under ``cfg``."""
+
+    key: str                                  # unique id within the batch
+    label: str                                # RunResult.config_label
+    cfg: SystemConfig
+    make_workload: Callable[[], Workload]
+    seed: int = DEFAULT_SEED
+    cycle_limit: int = DEFAULT_CYCLE_LIMIT
+
+
+@dataclass
+class TaskOutcome:
+    """How one task finished: its result plus execution metadata."""
+
+    key: str
+    result: RunResult
+    wall_time: float = 0.0     # seconds spent executing (0.0 for cache hits)
+    cached: bool = False
+    attempts: int = 1          # worker launches consumed (0 for cache hits)
+
+
+def _run_task(task: RunTask) -> RunResult:
+    return run_workload(task.cfg, task.make_workload(), seed=task.seed,
+                        cycle_limit=task.cycle_limit,
+                        config_label=task.label)
+
+
+def _worker(task: RunTask, conn) -> None:  # pragma: no cover - child process
+    try:
+        conn.send(("ok", _run_task(task)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except BaseException:
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``None``/``0`` means one worker per CPU; negative is rejected."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def execute_tasks(tasks: Iterable[RunTask],
+                  jobs: Optional[int] = 1,
+                  timeout: Optional[float] = None,
+                  retries: int = 1,
+                  cache: Optional[ResultCache] = None
+                  ) -> Dict[str, TaskOutcome]:
+    """Execute every task; return outcomes keyed by task key, in task order.
+
+    * Cache hits never launch a worker.
+    * A worker that dies without reporting (crash, OOM-kill) is relaunched
+      up to ``retries`` extra times; a task exceeding ``timeout`` seconds
+      is terminated and not retried (a deterministic simulation that timed
+      out once will time out again).
+    * Failures do not abort the batch: remaining tasks still run, then one
+      :class:`SweepExecutionError` summarises every failure and carries the
+      completed sibling results.
+    """
+    tasks = list(tasks)
+    if len({t.key for t in tasks}) != len(tasks):
+        raise ValueError("duplicate task keys in batch")
+    jobs = resolve_jobs(jobs)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+
+    outcomes: Dict[str, TaskOutcome] = {}
+    failures: Dict[str, str] = {}
+    pending: List[Tuple[RunTask, Optional[str]]] = []
+    for task in tasks:
+        cache_key = None
+        if cache is not None:
+            cache_key = cache.key(task.cfg,
+                                  workload_fingerprint(task.make_workload()),
+                                  task.seed, task.label, task.cycle_limit)
+            result = cache.load(cache_key)
+            if result is not None:
+                outcomes[task.key] = TaskOutcome(task.key, result,
+                                                 wall_time=0.0, cached=True,
+                                                 attempts=0)
+                continue
+        pending.append((task, cache_key))
+
+    if pending:
+        if jobs == 1 and timeout is None:
+            _execute_inline(pending, cache, outcomes, failures)
+        else:
+            _execute_in_processes(pending, jobs, timeout, retries, cache,
+                                  outcomes, failures)
+
+    if failures:
+        done = {key: out.result for key, out in outcomes.items()}
+        detail = "; ".join(f"{key}: {reason.strip().splitlines()[-1]}"
+                           for key, reason in failures.items())
+        raise SweepExecutionError(
+            f"{len(failures)} of {len(tasks)} sweep cell(s) failed "
+            f"({len(done)} completed): {detail}",
+            completed=done, failures=failures)
+    return {task.key: outcomes[task.key] for task in tasks}
+
+
+def _execute_inline(pending, cache, outcomes, failures) -> None:
+    """jobs=1 with no timeout: run in-process (no worker overhead)."""
+    for task, cache_key in pending:
+        start = time.perf_counter()
+        try:
+            result = _run_task(task)
+        except Exception:
+            failures[task.key] = traceback.format_exc()
+            continue
+        wall = time.perf_counter() - start
+        outcomes[task.key] = TaskOutcome(task.key, result, wall_time=wall)
+        if cache is not None and cache_key is not None:
+            cache.store(cache_key, result)
+
+
+def _execute_in_processes(pending, jobs, timeout, retries, cache,
+                          outcomes, failures) -> None:
+    ctx = _mp_context()
+    queue: List[Tuple[RunTask, Optional[str]]] = list(pending)
+    attempts: Dict[str, int] = {}
+    running: Dict[str, dict] = {}
+
+    def start(task: RunTask, cache_key: Optional[str]) -> None:
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_worker, args=(task, send),
+                           name=f"sweep-{task.key}")
+        proc.start()
+        send.close()  # child holds the write end
+        attempts[task.key] = attempts.get(task.key, 0) + 1
+        running[task.key] = dict(task=task, cache_key=cache_key, proc=proc,
+                                 conn=recv, started=time.perf_counter())
+
+    def finish(key: str) -> dict:
+        worker = running.pop(key)
+        worker["conn"].close()
+        worker["proc"].join()
+        return worker
+
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                start(*queue.pop(0))
+            mp_connection.wait([w["conn"] for w in running.values()],
+                               timeout=0.05)
+            for key in list(running):
+                worker = running[key]
+                task = worker["task"]
+                message = None
+                if worker["conn"].poll():
+                    try:
+                        message = worker["conn"].recv()
+                    except (EOFError, OSError):
+                        message = None  # died mid-send: treat as a crash
+                if message is not None:
+                    wall = time.perf_counter() - worker["started"]
+                    finish(key)
+                    status, payload = message
+                    if status == "ok":
+                        outcomes[key] = TaskOutcome(
+                            key, payload, wall_time=wall,
+                            attempts=attempts[key])
+                        if cache is not None and worker["cache_key"]:
+                            cache.store(worker["cache_key"], payload)
+                    else:
+                        failures[key] = (f"variant {task.label!r} raised in "
+                                         f"worker:\n{payload}")
+                    continue
+                if not worker["proc"].is_alive():
+                    exitcode = worker["proc"].exitcode
+                    finish(key)
+                    if attempts[key] <= retries:
+                        queue.append((task, worker["cache_key"]))
+                    else:
+                        failures[key] = (
+                            f"variant {task.label!r}: worker crashed with "
+                            f"exit code {exitcode} "
+                            f"({attempts[key]} attempt(s))")
+                    continue
+                if (timeout is not None
+                        and time.perf_counter() - worker["started"] > timeout):
+                    worker["proc"].terminate()
+                    finish(key)
+                    failures[key] = (f"variant {task.label!r}: timed out "
+                                     f"after {timeout:g}s")
+    finally:
+        for worker in running.values():
+            worker["proc"].terminate()
+            worker["conn"].close()
+            worker["proc"].join()
+
+
+# ---------------------------------------------------------------------------
+# Sweep front end
+# ---------------------------------------------------------------------------
+
+def run_parallel_sweep(variants, workload_factory,
+                       seed: int = DEFAULT_SEED,
+                       baseline_label: Optional[str] = None,
+                       jobs: Optional[int] = None,
+                       cache: Optional[ResultCache] = None,
+                       timeout: Optional[float] = None,
+                       retries: int = 1):
+    """Parallel/cached engine behind ``run_sweep(..., jobs=N)``.
+
+    Produces a ``SweepResult`` equal to the serial one (results are stored
+    in variant order regardless of completion order), with execution
+    metadata in ``SweepResult.meta``: per-variant wall time, cache-hit
+    flags and attempt counts, plus batch totals.
+    """
+    from repro.harness.sweep import SweepResult  # circular at import time
+
+    variants = list(variants)
+    labels = [label for label, _ in variants]
+    if len(set(labels)) != len(labels):
+        dup = sorted({x for x in labels if labels.count(x) > 1})[0]
+        raise ValueError(f"duplicate variant label {dup!r}")
+    if baseline_label is not None and baseline_label not in labels:
+        raise ValueError(f"baseline {baseline_label!r} not in sweep")
+
+    tasks = [RunTask(key=label, label=label, cfg=cfg,
+                     make_workload=workload_factory, seed=seed)
+             for label, cfg in variants]
+    started = time.perf_counter()
+    outcomes = execute_tasks(tasks, jobs=jobs, timeout=timeout,
+                             retries=retries, cache=cache)
+    wall = time.perf_counter() - started
+
+    sweep = SweepResult(baseline_label=baseline_label)
+    for label in labels:
+        sweep.results[label] = outcomes[label].result
+    hits = sum(1 for o in outcomes.values() if o.cached)
+    sweep.meta = {
+        "jobs": resolve_jobs(jobs),
+        "wall_time": wall,
+        "cache": {"hits": hits, "misses": len(outcomes) - hits,
+                  "enabled": cache is not None},
+        "variants": {label: {"cached": outcomes[label].cached,
+                             "wall_time": outcomes[label].wall_time,
+                             "attempts": outcomes[label].attempts}
+                     for label in labels},
+    }
+    return sweep

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.common.config import SystemConfig
+from repro.common.config import SyncMode, SystemConfig
 from repro.common.rng import DEFAULT_SEED, make_rng, perturbed_seeds
 from repro.common.stats import ConfidenceInterval, Histogram
 from repro.cpu.executor import ThreadExecutor
@@ -67,6 +67,51 @@ class RunResult:
     def cycles_per_unit(self) -> float:
         return self.cycles / self.units if self.units else float("inf")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe record of this run (``system`` is never included).
+
+        Carries the raw measurements (counters, histograms) plus the derived
+        headline metrics so downstream tooling does not need to re-derive
+        them; :meth:`from_dict` rebuilds an equal ``RunResult`` from it.
+        """
+        return {
+            "workload": self.workload,
+            "config_label": self.config_label,
+            "cycles": self.cycles,
+            "units": self.units,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "stalls": self.stalls,
+            "false_positive_pct": self.false_positive_pct,
+            "victimizations": self.victimizations,
+            "counters": dict(self.counters),
+            "histograms": {name: hist.to_dict()
+                           for name, hist in sorted(self.histograms.items())},
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "RunResult":
+        """Inverse of :meth:`to_dict` (derived metrics are recomputed)."""
+        return RunResult(
+            workload=str(data["workload"]),
+            config_label=str(data["config_label"]),
+            cycles=int(data["cycles"]),
+            units=int(data["units"]),
+            counters={str(k): int(v)
+                      for k, v in dict(data["counters"]).items()},
+            histograms={str(name): Histogram.from_dict(h)
+                        for name, h in dict(data["histograms"]).items()},
+        )
+
+
+def default_config_label(cfg: SystemConfig) -> str:
+    """Label used when the caller does not name a config: the signature's
+    table name for TM runs, ``"locks"`` for the lock baseline (whose
+    signature config is irrelevant and would mislabel the run)."""
+    if cfg.sync is SyncMode.LOCKS:
+        return "locks"
+    return cfg.tm.signature.describe()
+
 
 def run_workload(cfg: SystemConfig, workload: Workload,
                  seed: int = DEFAULT_SEED,
@@ -105,7 +150,7 @@ def run_workload(cfg: SystemConfig, workload: Workload,
     units = sum(e.units_done for e in executors)
     return RunResult(
         workload=workload.name,
-        config_label=config_label or cfg.tm.signature.describe(),
+        config_label=config_label or default_config_label(cfg),
         cycles=system.sim.now,
         units=units,
         counters=system.stats.snapshot(),

@@ -4,12 +4,20 @@ The evaluation and its ablations are all "one workload x many configs"
 grids; this module gives that pattern one tested implementation, used by
 the benchmark harness, the CLI, and downstream users sizing their own
 design points.
+
+``run_sweep`` executes serially by default (``jobs=1``) and is then
+byte-for-byte the historical implementation; ``jobs>1`` — or passing a
+:class:`~repro.harness.parallel.ResultCache` — routes through the parallel
+engine in :mod:`repro.harness.parallel`, which returns an equal
+``SweepResult`` (cells are independent, deterministic functions of
+``(config, workload, seed)``) annotated with execution metadata.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from repro.common.config import SignatureKind, SystemConfig
 from repro.common.rng import DEFAULT_SEED
@@ -23,10 +31,18 @@ Variant = Tuple[str, SystemConfig]
 
 @dataclass
 class SweepResult:
-    """All runs of one sweep, keyed by variant label."""
+    """All runs of one sweep, keyed by variant label.
+
+    ``meta`` (parallel/cached sweeps only) holds execution metadata —
+    per-variant wall time, cache hit flags, attempt counts, batch wall
+    time — and is excluded from equality: a cached re-run compares equal
+    to the run that populated the cache.
+    """
 
     results: Dict[str, RunResult] = field(default_factory=dict)
     baseline_label: Optional[str] = None
+    meta: Optional[Dict[str, Any]] = field(default=None, compare=False,
+                                           repr=False)
 
     def cycles(self, label: str) -> int:
         return self.results[label].cycles
@@ -56,12 +72,50 @@ class SweepResult:
             headers.append(f"Speedup vs {self.baseline_label}")
         return render_table(headers, rows, title=title)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe record of the whole sweep (results + ``meta``)."""
+        out: Dict[str, Any] = {
+            "baseline_label": self.baseline_label,
+            "results": {label: result.to_dict()
+                        for label, result in self.results.items()},
+        }
+        if self.meta is not None:
+            out["meta"] = self.meta
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "SweepResult":
+        """Inverse of :meth:`to_dict`."""
+        sweep = SweepResult(baseline_label=data.get("baseline_label"))
+        for label, record in dict(data["results"]).items():
+            sweep.results[label] = RunResult.from_dict(record)
+        sweep.meta = data.get("meta")
+        return sweep
+
 
 def run_sweep(variants: Iterable[Variant],
               workload_factory: Callable[[], Workload],
               seed: int = DEFAULT_SEED,
-              baseline_label: Optional[str] = None) -> SweepResult:
-    """Run the factory's workload under every variant configuration."""
+              baseline_label: Optional[str] = None,
+              jobs: Optional[int] = 1,
+              cache=None,
+              timeout: Optional[float] = None,
+              retries: int = 1) -> SweepResult:
+    """Run the factory's workload under every variant configuration.
+
+    ``jobs=1`` with no cache/timeout is the exact serial implementation.
+    ``jobs>1`` (or ``jobs=None``/``0`` for one worker per CPU), a
+    ``cache`` (:class:`repro.harness.parallel.ResultCache`), or a per-cell
+    ``timeout`` route through the parallel engine, which returns an equal
+    ``SweepResult`` plus execution metadata in ``.meta``. ``retries``
+    bounds relaunches after a worker crash (parallel engine only).
+    """
+    if jobs != 1 or cache is not None or timeout is not None:
+        from repro.harness.parallel import run_parallel_sweep
+        return run_parallel_sweep(variants, workload_factory, seed=seed,
+                                  baseline_label=baseline_label, jobs=jobs,
+                                  cache=cache, timeout=timeout,
+                                  retries=retries)
     sweep = SweepResult(baseline_label=baseline_label)
     for label, cfg in variants:
         if label in sweep.results:

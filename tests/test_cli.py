@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.harness.sweep import SweepResult
 
 
 class TestParser:
@@ -22,6 +25,20 @@ class TestParser:
         assert args.workload == "Cholesky"
         assert args.threads == 4
         assert args.bits == 64
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["--json", "sweep", "Mp3d", "--mode", "sizes", "--kind", "bs",
+             "--sizes", "64", "256", "--jobs", "4", "--no-cache"])
+        assert args.json
+        assert args.mode == "sizes"
+        assert args.sizes == [64, 256]
+        assert args.jobs == 4
+        assert args.no_cache
+
+    def test_jobs_on_grid_commands(self):
+        assert build_parser().parse_args(["table3", "--jobs", "2"]).jobs == 2
+        assert build_parser().parse_args(["fig4", "--jobs", "2"]).jobs == 2
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -60,3 +77,53 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Figure 4" in out
         assert "Mp3d" in out
+
+    def test_run_json_is_uniform_across_sync_modes(self, capsys):
+        base = ["run", "Mp3d", "--threads", "4", "--units", "1"]
+        assert main(["--json"] + base) == 0
+        tm = json.loads(capsys.readouterr().out)
+        assert main(["--json"] + base + ["--locks"]) == 0
+        locks = json.loads(capsys.readouterr().out)
+        assert tm["config_label"] == "Perfect"
+        assert locks["config_label"] == "locks"
+        assert set(tm) == set(locks)  # same record shape in both modes
+        assert locks["cycles"] > 0
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "Mp3d", "--mode", "sizes", "--sizes", "64", "256",
+            "--threads", "4", "--units", "1"]
+
+    def test_table_output_no_cache(self, capsys):
+        assert main(self.ARGS + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "BS_64" in out and "BS_256" in out
+        assert "cache: 0 hit(s), 2 miss(es) (disabled)" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["sweep", "Nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_repeat_invocation_hits_cache(self, tmp_path, capsys):
+        cache_args = self.ARGS + ["--cache-dir", str(tmp_path)]
+        assert main(cache_args) == 0
+        assert "cache: 0 hit(s), 2 miss(es)" in capsys.readouterr().out
+        assert main(cache_args) == 0
+        assert "cache: 2 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_json_round_trips(self, tmp_path, capsys):
+        assert main(["--json"] + self.ARGS
+                    + ["--cache-dir", str(tmp_path)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        sweep = SweepResult.from_dict(data)
+        assert sweep.labels() == ["BS_64", "BS_256"]
+        assert sweep.results["BS_64"].cycles > 0
+        assert sweep.to_dict() == data
+
+    def test_json_designs_mode_has_baseline(self, capsys):
+        assert main(["--json", "sweep", "Mp3d", "--mode", "designs",
+                     "--bits", "64", "--threads", "4", "--units", "1",
+                     "--no-cache"]) == 0
+        sweep = SweepResult.from_dict(json.loads(capsys.readouterr().out))
+        assert sweep.baseline_label == "Perfect"
+        assert sweep.speedup("Perfect") == pytest.approx(1.0)

@@ -83,6 +83,15 @@ class TestFigure4:
             assert c.cycles > 0
             assert c.speedup > 0
 
+    def test_parallel_cells_identical(self):
+        # The Figure 4 grid through the parallel engine (incl. perturbed
+        # runs) must reproduce the serial cells exactly.
+        tiny = E.ExperimentScale(threads=4, default_units=1, runs=2,
+                                 asserts_shapes=False)
+        serial = E.figure4(tiny, workloads=["Cholesky"])
+        parallel = E.figure4(tiny, workloads=["Cholesky"], jobs=2)
+        assert parallel == serial
+
 
 class TestTable3:
     def test_structure(self):
@@ -93,6 +102,12 @@ class TestTable3:
         perfect = next(r for r in rows if r.signature == "Perfect")
         assert perfect.false_positive_pct == 0.0
         assert "Table 3" in E.render_table3(rows)
+
+    def test_parallel_rows_identical(self):
+        tiny = E.ExperimentScale(threads=4, default_units=1, runs=1,
+                                 asserts_shapes=False)
+        assert (E.table3(tiny, workloads=("Cholesky",), jobs=2)
+                == E.table3(tiny, workloads=("Cholesky",)))
 
 
 class TestVictimization:

@@ -1,0 +1,227 @@
+"""Tests for the parallel sweep engine and its on-disk result cache."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.common.config import SignatureKind, SystemConfig
+from repro.harness import parallel as parallel_mod
+from repro.harness.parallel import (ResultCache, RunTask,
+                                    SweepExecutionError, code_version,
+                                    execute_tasks, workload_fingerprint)
+from repro.harness.runner import run_workload
+from repro.harness.sweep import SweepResult, run_sweep
+from repro.workloads import SharedCounter
+
+
+def small():
+    return SystemConfig.small(num_cores=2, threads_per_core=1)
+
+
+def factory():
+    return SharedCounter(num_threads=2, units_per_thread=3)
+
+
+def variants():
+    return [("a", small()),
+            ("b", small().with_signature(SignatureKind.BIT_SELECT,
+                                         bits=64))]
+
+
+class TestDeterminism:
+    def test_jobs2_equals_serial(self):
+        serial = run_sweep(variants(), factory)
+        parallel = run_sweep(variants(), factory, jobs=2)
+        assert parallel == serial
+        assert parallel.labels() == serial.labels()
+        # Full-depth check, independent of dataclass __eq__ details.
+        assert parallel.to_dict()["results"] == serial.to_dict()["results"]
+
+    def test_meta_only_on_parallel_path(self):
+        assert run_sweep(variants(), factory).meta is None
+        meta = run_sweep(variants(), factory, jobs=2).meta
+        assert meta["jobs"] == 2
+        assert meta["cache"] == {"hits": 0, "misses": 2, "enabled": False}
+        assert set(meta["variants"]) == {"a", "b"}
+
+    def test_jobs_auto(self):
+        sweep = run_sweep(variants(), factory, jobs=0)
+        assert sweep.meta["jobs"] >= 1
+
+    def test_parallel_validates_like_serial(self):
+        with pytest.raises(ValueError):
+            run_sweep([("x", small()), ("x", small())], factory, jobs=2)
+        with pytest.raises(ValueError):
+            run_sweep(variants(), factory, jobs=2, baseline_label="nope")
+
+
+class TestResultCache:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_sweep(variants(), factory, cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 2}
+        warm = run_sweep(variants(), factory, cache=cache)
+        assert cache.stats() == {"hits": 2, "misses": 2}
+        assert warm == cold
+        assert all(v["cached"] for v in warm.meta["variants"].values())
+
+    def test_cache_hit_skips_execution(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_sweep(variants(), factory, cache=cache)
+
+        def exploding(*args, **kwargs):
+            raise AssertionError("run_workload must not execute on a hit")
+
+        monkeypatch.setattr(parallel_mod, "run_workload", exploding)
+        warm = run_sweep(variants(), factory, cache=cache)
+        assert warm.meta["cache"]["hits"] == 2
+        assert all(v["attempts"] == 0
+                   for v in warm.meta["variants"].values())
+
+    def test_partial_cache_runs_only_missing_cells(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(variants()[:1], factory, cache=cache)
+        sweep = run_sweep(variants(), factory, cache=cache)
+        per = sweep.meta["variants"]
+        assert per["a"]["cached"] and not per["b"]["cached"]
+
+    def test_key_sensitivity(self):
+        cache = ResultCache("/nonexistent")
+        fp = workload_fingerprint(factory())
+        base = cache.key(small(), fp, seed=1, label="x")
+        assert base == cache.key(small(), fp, seed=1, label="x")
+        assert base != cache.key(small(), fp, seed=2, label="x")
+        assert base != cache.key(small(), fp, seed=1, label="y")
+        other_cfg = small().with_signature(SignatureKind.BIT_SELECT, bits=64)
+        assert base != cache.key(other_cfg, fp, seed=1, label="x")
+        other_wl = workload_fingerprint(
+            SharedCounter(num_threads=2, units_per_thread=4))
+        assert base != cache.key(small(), other_wl, seed=1, label="x")
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(variants()[:1], factory, cache=cache)
+        for path in tmp_path.rglob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        sweep = run_sweep(variants()[:1], factory, cache=cache)
+        assert not sweep.meta["variants"]["a"]["cached"]
+
+    def test_code_version_stable_and_short(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestFailureHandling:
+    def _patch(self, monkeypatch, hook):
+        real = run_workload
+
+        def wrapper(cfg, workload, **kwargs):
+            hook(kwargs.get("config_label", ""))
+            return real(cfg, workload, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "run_workload", wrapper)
+
+    def test_crash_retries_then_surfaces_error(self, monkeypatch):
+        self._patch(monkeypatch,
+                    lambda label: os._exit(13) if label == "b" else None)
+        with pytest.raises(SweepExecutionError) as info:
+            run_sweep(variants(), factory, jobs=2, retries=1)
+        err = info.value
+        # The sibling's result is preserved, and the error is explicit
+        # about what crashed and how often it was tried.
+        assert set(err.completed) == {"a"}
+        assert err.completed["a"].commits > 0
+        assert "exit code 13" in err.failures["b"]
+        assert "2 attempt(s)" in err.failures["b"]
+
+    def test_crash_once_then_succeeds_on_retry(self, monkeypatch, tmp_path):
+        flag = tmp_path / "crashed-once"
+
+        def crash_first_time(label):
+            if label == "b" and not flag.exists():
+                flag.write_text("x")
+                os._exit(13)
+
+        self._patch(monkeypatch, crash_first_time)
+        serial = run_sweep(variants(), factory)
+        sweep = run_sweep(variants(), factory, jobs=2, retries=1)
+        assert sweep == serial
+        assert sweep.meta["variants"]["b"]["attempts"] == 2
+
+    def test_worker_exception_not_retried(self, monkeypatch):
+        def raise_on_b(label):
+            if label == "b":
+                raise ValueError("deliberate model failure")
+
+        self._patch(monkeypatch, raise_on_b)
+        with pytest.raises(SweepExecutionError) as info:
+            run_sweep(variants(), factory, jobs=2, retries=5)
+        assert set(info.value.completed) == {"a"}
+        assert "deliberate model failure" in info.value.failures["b"]
+
+    def test_timeout_kills_variant_keeps_siblings(self, monkeypatch):
+        self._patch(monkeypatch,
+                    lambda label: time.sleep(30) if label == "b" else None)
+        with pytest.raises(SweepExecutionError) as info:
+            run_sweep(variants(), factory, jobs=2, timeout=1.0)
+        assert set(info.value.completed) == {"a"}
+        assert "timed out" in info.value.failures["b"]
+
+    def test_inline_failure_keeps_siblings(self, monkeypatch):
+        # jobs=1 without timeout runs in-process; failures behave the same.
+        def raise_on_b(label):
+            if label == "b":
+                raise ValueError("inline failure")
+
+        self._patch(monkeypatch, raise_on_b)
+        with pytest.raises(SweepExecutionError) as info:
+            run_sweep(variants(), factory, jobs=1,
+                      cache=ResultCache("/tmp/nonexistent-unused"))
+        assert set(info.value.completed) == {"a"}
+
+
+class TestExecuteTasks:
+    def _tasks(self):
+        return [RunTask(key=label, label=label, cfg=cfg,
+                        make_workload=factory)
+                for label, cfg in variants()]
+
+    def test_order_preserved(self):
+        outcomes = execute_tasks(self._tasks(), jobs=2)
+        assert list(outcomes) == ["a", "b"]
+        assert all(o.attempts == 1 and not o.cached
+                   for o in outcomes.values())
+        assert all(o.wall_time > 0 for o in outcomes.values())
+
+    def test_duplicate_keys_rejected(self):
+        tasks = self._tasks()
+        tasks[1].key = tasks[0].key
+        with pytest.raises(ValueError):
+            execute_tasks(tasks)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            execute_tasks(self._tasks(), jobs=-1)
+        with pytest.raises(ValueError):
+            execute_tasks(self._tasks(), retries=-1)
+
+
+class TestJsonRoundTrip:
+    def test_sweep_result_round_trips(self):
+        sweep = run_sweep(variants(), factory, jobs=2,
+                          baseline_label="a")
+        encoded = json.dumps(sweep.to_dict())
+        back = SweepResult.from_dict(json.loads(encoded))
+        assert back == sweep
+        assert back.baseline_label == "a"
+        assert back.meta["jobs"] == 2
+        assert back.speedup("b") == sweep.speedup("b")
+
+    def test_histograms_survive(self):
+        sweep = run_sweep(variants()[:1], factory)
+        back = SweepResult.from_dict(json.loads(json.dumps(sweep.to_dict())))
+        orig = sweep.results["a"].histograms
+        assert back.results["a"].histograms == orig
+        assert orig  # the run must actually have produced histograms

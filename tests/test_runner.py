@@ -70,6 +70,14 @@ class TestRunWorkload:
                               SharedCounter(num_threads=2, units_per_thread=1))
         assert result.config_label == "BS_64"
 
+    def test_config_label_defaults_to_locks_for_lock_baseline(self):
+        # The lock baseline must not inherit a signature label: its
+        # signature config is irrelevant to what actually ran.
+        cfg = small_cfg().with_sync(SyncMode.LOCKS)
+        result = run_workload(cfg,
+                              SharedCounter(num_threads=2, units_per_thread=1))
+        assert result.config_label == "locks"
+
 
 class TestRunResultDerived:
     def test_false_positive_pct(self):
@@ -93,6 +101,22 @@ class TestRunResultDerived:
                       counters={"victimization.l1_tx": 2,
                                 "victimization.l2_tx": 3})
         assert r.victimizations == 5
+
+    def test_dict_round_trip(self):
+        result = run_workload(small_cfg(),
+                              SharedCounter(num_threads=2,
+                                            units_per_thread=2))
+        back = RunResult.from_dict(result.to_dict())
+        assert back == result
+        assert back.to_dict() == result.to_dict()
+
+    def test_to_dict_never_carries_the_system(self):
+        result = run_workload(small_cfg(),
+                              SharedCounter(num_threads=2,
+                                            units_per_thread=1),
+                              keep_system=True)
+        assert result.system is not None
+        assert "system" not in result.to_dict()
 
 
 class TestRunPerturbed:

@@ -51,6 +51,33 @@ class TestHistogram:
             h.record(v)
         assert list(h.items()) == [(1, 1), (3, 1), (5, 2)]
 
+    def test_equality_by_contents(self):
+        a, b = Histogram("h"), Histogram("h")
+        for sample in (1, 1, 5):
+            a.record(sample)
+            b.record(sample)
+        assert a == b
+        b.record(9)
+        assert a != b
+        assert a != Histogram("other")
+        assert a != "not a histogram"
+
+    def test_dict_round_trip(self):
+        h = Histogram("h")
+        for sample in (3, 3, 3, 7, 11):
+            h.record(sample)
+        back = Histogram.from_dict(h.to_dict())
+        assert back == h
+        assert (back.count, back.total, back.mean) == (h.count, h.total,
+                                                       h.mean)
+        assert (back.maximum, back.minimum) == (h.maximum, h.minimum)
+        assert back.percentile(50) == h.percentile(50)
+
+    def test_empty_dict_round_trip(self):
+        back = Histogram.from_dict(Histogram("empty").to_dict())
+        assert back.count == 0
+        assert back.minimum == 0
+
     def test_reset(self):
         h = Histogram("r")
         h.record(10)

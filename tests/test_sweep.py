@@ -70,6 +70,13 @@ class TestVariantBuilders:
         kinds = {cfg.tm.signature.kind for _, cfg in variants}
         assert len(kinds) == 5
 
+    def test_parallel_sweep_matches_serial(self):
+        variants = signature_size_variants(SignatureKind.BIT_SELECT,
+                                           sizes=(16, 1024), base=small())
+        factory = lambda: SharedCounter(num_threads=2, units_per_thread=4)
+        assert run_sweep(variants, factory, jobs=2) == run_sweep(variants,
+                                                                 factory)
+
     def test_end_to_end_size_sweep(self):
         variants = signature_size_variants(SignatureKind.BIT_SELECT,
                                            sizes=(16, 1024), base=small())
