@@ -13,12 +13,16 @@ a script::
     python -m repro run BerkeleyDB --threads 16 --units 2 --signature bs \\
         --bits 2048
     python -m repro sweep Mp3d --mode sizes --sizes 64 2048 --jobs 4
+    python -m repro trace SharedCounter --threads 4 --out counter.trace.json
 
 The global ``--json`` flag switches every command from rendered tables to
 structured JSON records (``RunResult``/``SweepResult`` serializations or
 experiment row dicts) for downstream tooling. ``sweep`` keeps an on-disk
 result cache (``~/.cache/repro/sweeps`` or ``$REPRO_CACHE_DIR``): repeat
-an invocation and only missing cells execute.
+an invocation and only missing cells execute. ``trace`` runs one workload
+with the observability bus attached and writes a Chrome Trace Event JSON
+(open it in Perfetto or ``chrome://tracing``); ``sweep --trace-dir DIR``
+does the same per variant.
 """
 
 from __future__ import annotations
@@ -91,9 +95,12 @@ def _cmd_table2(args) -> int:
 
 def _cmd_fig3(args) -> int:
     points = E.figure3(seed=args.seed)
+    attribution = E.figure3_attribution(seed=args.seed)
     if args.json:
-        return _emit_json(points)
+        return _emit_json({"points": points, "attribution": attribution})
     print(E.render_figure3(points))
+    print()
+    print(E.render_figure3_attribution(attribution))
     return 0
 
 
@@ -189,14 +196,16 @@ def _cmd_sweep(args) -> int:
         return cls(num_threads=args.threads, units_per_thread=args.units,
                    seed=args.seed)
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    no_cache = args.no_cache or args.trace_dir is not None
+    cache = None if no_cache else ResultCache(args.cache_dir)
     # Always the engine (even jobs=1, no cache): identical results to the
     # serial path, but the run carries execution metadata to report.
     try:
         sweep = run_parallel_sweep(variants, factory, seed=args.seed,
                                    baseline_label=baseline, jobs=args.jobs,
                                    cache=cache, timeout=args.timeout,
-                                   retries=args.retries)
+                                   retries=args.retries,
+                                   trace_dir=args.trace_dir)
     except SweepExecutionError as exc:
         print(f"sweep failed: {len(exc.failures)} of {len(variants)} "
               f"cell(s), {len(exc.completed)} completed", file=sys.stderr)
@@ -214,6 +223,66 @@ def _cmd_sweep(args) -> int:
               f"cache: {cache_info['hits']} hit(s), "
               f"{cache_info['misses']} miss(es)"
               + ("" if cache_info["enabled"] else " (disabled)"))
+    if args.trace_dir is not None:
+        print(f"trace artifacts: {args.trace_dir}/<variant>.trace.json")
+    return 0
+
+
+#: Workloads runnable by ``repro trace``: the Table 2 benchmarks plus the
+#: microbenchmarks (small enough to make readable traces).
+def _trace_workloads():
+    from repro.workloads import (BigFootprint, NestedUpdate, RepeatStores,
+                                 SharedCounter)
+    catalog = dict(E.WORKLOAD_CLASSES)
+    for cls in (SharedCounter, NestedUpdate, BigFootprint, RepeatStores):
+        catalog[cls.name] = cls
+    return catalog
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.analysis import attribute_aborts, render_attribution
+    from repro.obs.export import export_chrome_trace, export_jsonl
+
+    catalog = _trace_workloads()
+    if args.workload not in catalog:
+        print(f"unknown workload {args.workload!r}; choose from "
+              f"{sorted(catalog)}", file=sys.stderr)
+        return 2
+    cfg = SystemConfig.small() if args.small else SystemConfig.default()
+    if args.locks:
+        cfg = cfg.with_sync(SyncMode.LOCKS)
+    else:
+        cfg = cfg.with_signature(SignatureKind(args.signature),
+                                 bits=args.bits)
+    workload = catalog[args.workload](
+        num_threads=args.threads, units_per_thread=args.units,
+        seed=args.seed)
+    result = run_workload(cfg, workload, seed=args.seed, trace=True,
+                          trace_max_events=args.max_events,
+                          trace_kinds=args.kinds)
+    events = result.events or []
+    out = args.out or f"{workload.name}.trace.json"
+    label = f"{workload.name} [{result.config_label}]"
+    n = export_chrome_trace(events, out, label=label)
+    if args.jsonl:
+        export_jsonl(events, args.jsonl)
+    attribution = attribute_aborts(events)
+    if args.json:
+        payload = result.to_dict()
+        payload["trace"] = {"path": out, "events": len(events),
+                            "trace_events": n,
+                            "jsonl": args.jsonl,
+                            "attribution": attribution.to_dict()}
+        return _emit_json(payload)
+    print(f"workload   : {workload.describe()}")
+    print(f"config     : {result.config_label}")
+    print(f"cycles     : {result.cycles:,}")
+    print(f"events     : {len(events)} captured, {n} trace entries")
+    print(f"trace      : {out}  (open in Perfetto / chrome://tracing)")
+    if args.jsonl:
+        print(f"jsonl      : {args.jsonl}")
+    print()
+    print(render_attribution(attribution))
     return 0
 
 
@@ -293,7 +362,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: $REPRO_CACHE_DIR or "
                         "~/.cache/repro/sweeps)")
+    p.add_argument("--trace-dir", default=None,
+                   help="write per-variant Chrome trace + JSONL artifacts "
+                        "into this directory (disables the cache)")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one workload with tracing on; write a Chrome trace")
+    p.add_argument("workload",
+                   help="workload name (benchmark or microbench, e.g. "
+                        "SharedCounter)")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--units", type=int, default=2)
+    p.add_argument("--signature", default="perfect",
+                   choices=[k.value for k in SignatureKind])
+    p.add_argument("--bits", type=int, default=2048)
+    p.add_argument("--locks", action="store_true",
+                   help="trace the lock baseline instead of transactions")
+    p.add_argument("--small", action="store_true", default=True,
+                   help="use the small 4-core config (default)")
+    p.add_argument("--full-machine", dest="small", action="store_false",
+                   help="use the full Table 1 CMP instead of --small")
+    p.add_argument("--out", default=None,
+                   help="Chrome trace output path (default: "
+                        "<workload>.trace.json)")
+    p.add_argument("--jsonl", default=None,
+                   help="also write raw events as JSON Lines to this path")
+    p.add_argument("--kinds", nargs="+", default=None,
+                   help="restrict captured events to these kinds or "
+                        "namespaces (e.g. tm coh.nack)")
+    p.add_argument("--max-events", type=int, default=1_000_000,
+                   help="ring-buffer capacity (default: 1,000,000)")
+    p.set_defaults(fn=_cmd_trace)
     return parser
 
 

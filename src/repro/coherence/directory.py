@@ -27,6 +27,7 @@ Request walkthrough (GETM from core R):
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.cache.array import CacheArray
@@ -149,6 +150,8 @@ class DirectoryFabric(CoherenceFabric):
         entry.lost_info = True
         if transactional:
             self._c_l2_evict_tx.add()
+        self.stats.emit("coh.l2_victim", block=victim_addr,
+                        transactional=transactional)
 
     # ------------------------------------------------------------------
     # Conflict checks
@@ -157,7 +160,9 @@ class DirectoryFabric(CoherenceFabric):
     def _check(self, cores: Iterable[int], requester_core: int,
                requester_thread: int, block_addr: int, is_write: bool,
                asid: int, requester_ts: Optional[Timestamp],
-               owner: Optional[int] = None) -> List[Blocker]:
+               owner: Optional[int] = None,
+               sticky_cores: Iterable[int] = (),
+               broadcast: bool = False) -> List[Blocker]:
         """Forward the request to each target core.
 
         The signature check and the coherence action (invalidation for a
@@ -170,7 +175,13 @@ class DirectoryFabric(CoherenceFabric):
         A target that NACKs keeps its copy; targets already processed may
         have lost theirs, which is harmless — they simply re-fetch, and
         the re-fetch serializes behind this entry's lock.
+
+        Each blocker is tagged with how the check reached it —
+        ``sticky_cores`` were forwarded to only because of a sticky state,
+        ``broadcast`` marks the lost-info rebuild path — so abort
+        attribution can separate decoupling artifacts from true conflicts.
         """
+        sticky_set = set(sticky_cores)
         blockers: List[Blocker] = []
         for core_id in sorted(set(cores)):
             if core_id == requester_core:
@@ -185,6 +196,11 @@ class DirectoryFabric(CoherenceFabric):
                 block_addr, is_write, exclude_thread=requester_thread,
                 asid=asid, requester_ts=requester_ts)
             if found:
+                via = ("broadcast" if broadcast
+                       else "sticky" if core_id in sticky_set
+                       else "targeted")
+                if via != "targeted":
+                    found = [replace(b, via=via) for b in found]
                 blockers.extend(found)
             elif is_write:
                 port.invalidate_block(block_addr)
@@ -213,6 +229,10 @@ class DirectoryFabric(CoherenceFabric):
                         requester_ts: Optional[Timestamp], block_addr: int,
                         is_write: bool, asid: int, entry: DirectoryEntry):
         self._c_requests.add()
+        if self.stats.recorder is not None:
+            self.stats.emit("coh.request", block=block_addr,
+                            core=requester_core, thread=requester_thread,
+                            write=is_write)
         bank = self.amap.bank_of(block_addr)
         msg = "GETM" if is_write else "GETS"
         yield self.network.core_to_bank(requester_core, bank, msg)
@@ -232,6 +252,12 @@ class DirectoryFabric(CoherenceFabric):
             # signature checks — no L2 data-array or DRAM access — so a
             # NACKed request occupies the directory entry only briefly.
             self._c_nacks.add()
+            if self.stats.recorder is not None:
+                self.stats.emit(
+                    "coh.nack", block=block_addr, core=requester_core,
+                    thread=requester_thread,
+                    blockers=tuple((b.thread_id, b.false_positive, b.via)
+                                   for b in blockers))
             yield self.network.bank_to_core(bank, requester_core, "NACK")
             return CoherenceResult(granted=False, blockers=blockers)
 
@@ -242,6 +268,9 @@ class DirectoryFabric(CoherenceFabric):
         # directory-state update (no window for a competing request).
         grant_state = self._apply_grant(requester_core, block_addr,
                                         is_write, entry)
+        if self.stats.recorder is not None:
+            self.stats.emit("coh.grant", block=block_addr,
+                            core=requester_core, state=grant_state.name)
         return CoherenceResult(granted=True, grant_state=grant_state)
 
     def _broadcast_check(self, requester_core: int, requester_thread: int,
@@ -250,11 +279,12 @@ class DirectoryFabric(CoherenceFabric):
                          bank: int):
         """Rebuild path after L2 victimization: check every L1's signatures."""
         self._c_bcast.add()
+        self.stats.emit("coh.broadcast", block=block_addr)
         yield self.network.broadcast_from_bank(bank, "rebuild")
         all_cores = list(self._ports)
         blockers = self._check(all_cores, requester_core, requester_thread,
                                block_addr, is_write, asid, requester_ts,
-                               owner=entry.owner)
+                               owner=entry.owner, broadcast=True)
         # The broadcast responses rebuild the directory state. After the L2
         # eviction invalidated L1 copies, nobody caches the block; what can
         # remain is signature coverage, which NACKs above.
@@ -277,7 +307,7 @@ class DirectoryFabric(CoherenceFabric):
             yield fwd
         blockers = self._check(targets, requester_core, requester_thread,
                                block_addr, is_write, asid, requester_ts,
-                               owner=entry.owner)
+                               owner=entry.owner, sticky_cores=entry.sticky)
         if not blockers and targets:
             resp = max(self.network.core_to_core(t, requester_core, "resp")
                        for t in targets)
@@ -296,6 +326,8 @@ class DirectoryFabric(CoherenceFabric):
             # discharged ("a block leaves this state when the request
             # finally succeeds").
             self._c_sticky_clean.add(len(entry.sticky))
+            self.stats.emit("coh.sticky_clean", block=block_addr,
+                            cores=tuple(sorted(entry.sticky)))
             entry.sticky.clear()
         entry.must_check_all = False
         if is_write:
@@ -323,6 +355,10 @@ class DirectoryFabric(CoherenceFabric):
     def l1_evicted(self, core_id: int, block_addr: int, state: MESI,
                    transactional: bool) -> None:
         entry = self._entry(block_addr)
+        if self.stats.recorder is not None:
+            self.stats.emit("coh.l1_victim", block=block_addr, core=core_id,
+                            transactional=transactional,
+                            sticky=transactional and self._use_sticky)
         if transactional and self._use_sticky:
             # Sticky replacement: leave the directory state unchanged so
             # conflicting requests keep being forwarded to this core, and

@@ -28,6 +28,11 @@ class Blocker:
     thread_id: int                 # global thread-context id
     timestamp: Optional[Timestamp]  # None for a non-transactional blocker
     false_positive: bool            # the signature hit had no real overlap
+    #: How the conflict check reached this blocker: a "targeted" forward
+    #: from precise directory state, a "sticky" forward from a stale
+    #: post-victimization state, or a lost-info "broadcast". Feeds abort
+    #: attribution (sticky/capacity categories).
+    via: str = "targeted"
 
     def older_than(self, ts: Optional[Timestamp]) -> bool:
         """Whether this blocker's transaction began before ``ts``."""
@@ -85,13 +90,15 @@ class ConflictPort(abc.ABC):
     def downgrade_block(self, block_addr: int) -> bool:
         """M/E -> S on this core's L1; True if it was resident exclusive."""
 
-    def mark_abort(self, thread_id: int) -> bool:
+    def mark_abort(self, thread_id: int, fp: bool = False) -> bool:
         """Contention-manager hook: doom a local thread's transaction.
 
         The transaction aborts at its next transactional instruction
         boundary (asynchronous aborts are impossible — a transaction
-        mid-escape-action cannot be unrolled). Returns True if the thread
-        is here and was in a transaction. Default: not supported.
+        mid-escape-action cannot be unrolled). ``fp`` records whether the
+        winning requester's conflict was pure signature aliasing, so the
+        doomed side's abort attributes correctly. Returns True if the
+        thread is here and was in a transaction. Default: not supported.
         """
         return False
 

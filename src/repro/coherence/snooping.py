@@ -76,6 +76,9 @@ class SnoopingFabric(CoherenceFabric):
             try:
                 self._c_requests.add()
                 self._c_bcast.add()
+                if self.stats.recorder is not None:
+                    self.stats.emit("coh.snoop", block=block_addr,
+                                    core=requester_core, write=is_write)
                 bank = self.amap.bank_of(block_addr)
                 # Broadcast: reaches all cores and the home L2 bank.
                 yield self.network.broadcast_from_bank(bank, "snoop")
@@ -102,6 +105,13 @@ class SnoopingFabric(CoherenceFabric):
                         port.downgrade_block(block_addr)
                 if blockers:
                     self._c_nacks.add()
+                    if self.stats.recorder is not None:
+                        self.stats.emit(
+                            "coh.nack", block=block_addr,
+                            core=requester_core, thread=requester_thread,
+                            blockers=tuple(
+                                (b.thread_id, b.false_positive, b.via)
+                                for b in blockers))
                     return CoherenceResult(granted=False, blockers=blockers)
                 l2_hit = self.l2.lookup(block_addr) is not None
             finally:
@@ -122,6 +132,9 @@ class SnoopingFabric(CoherenceFabric):
             # with this state update.
             grant_state = self._apply_grant(requester_core, block_addr,
                                             is_write)
+            if self.stats.recorder is not None:
+                self.stats.emit("coh.grant", block=block_addr,
+                                core=requester_core, state=grant_state.name)
             return CoherenceResult(granted=True, grant_state=grant_state)
         finally:
             block_lock.release()
@@ -149,6 +162,9 @@ class SnoopingFabric(CoherenceFabric):
                    transactional: bool) -> None:
         # No sticky states: broadcasts reach every signature regardless of
         # caching, so replacement just updates residency tracking.
+        if self.stats.recorder is not None:
+            self.stats.emit("coh.l1_victim", block=block_addr, core=core_id,
+                            transactional=transactional, sticky=False)
         if transactional:
             self._c_l1_evict_tx.add()
         if self._owner.get(block_addr) == core_id:

@@ -41,9 +41,18 @@ class AbortTransaction(ReproError):
     generator frames (L1 access, coherence request) in one step.
     """
 
-    def __init__(self, reason: str = "conflict") -> None:
+    def __init__(self, reason: str = "conflict", cause: str = "conflict",
+                 fp: bool = False, via: str = "targeted") -> None:
         super().__init__(reason)
         self.reason = reason
+        #: Structured provenance for abort attribution (see
+        #: :func:`repro.obs.analysis.classify_abort`): the mechanism that
+        #: forced the abort, whether every blocking signature hit was
+        #: aliasing, and the path the conflict arrived on
+        #: ("targeted" / "sticky" / "broadcast").
+        self.cause = cause
+        self.fp = fp
+        self.via = via
 
 
 class PreemptedAccess(ReproError):

@@ -21,8 +21,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.common.config import SystemConfig
-from repro.common.errors import TransactionError
+from repro.common.errors import AbortTransaction, TransactionError
 from repro.common.stats import StatsRegistry
+from repro.obs.analysis import classify_abort
 from repro.cpu.thread import HardwareSlot, SoftwareThread
 from repro.mem.physical import PhysicalMemory
 from repro.mem.vm import PageTable
@@ -107,8 +108,16 @@ class TMManager:
             yield from self._push_summaries(thread.asid)
         return outer
 
-    def abort(self, slot: HardwareSlot, full: bool = True):
-        """Run the software abort handler; returns records unrolled."""
+    def abort(self, slot: HardwareSlot, full: bool = True,
+              cause: Optional[AbortTransaction] = None):
+        """Run the software abort handler; returns records unrolled.
+
+        ``cause`` is the :class:`AbortTransaction` that forced the abort
+        (None for an explicit/programmatic abort); its structured
+        cause/fp/via provenance drives the attribution category recorded
+        both as a ``tm.aborts.<category>`` counter and on the ``tm.abort``
+        event.
+        """
         ctx = slot.ctx
         thread = slot.thread
         if not ctx.in_tx:
@@ -121,8 +130,18 @@ class TMManager:
             undone = ctx.abort_innermost(self.memory, thread.translate)
         yield (self.cfg.tm.abort_handler_cycles
                + undone * self.cfg.tm.abort_cycles_per_entry)
+        cause_str = cause.cause if cause is not None else "explicit"
+        fp = cause.fp if cause is not None else False
+        via = cause.via if cause is not None else "targeted"
+        category = classify_abort(cause_str, fp, via)
+        outer = not ctx.in_tx
+        if outer and full:
+            # Category counters mirror the tm.aborts total (bumped in
+            # abort_all): only a completed outer abort is attributed.
+            self.stats.counter(f"tm.aborts.{category}").add()
         self.stats.emit("tm.abort", thread=ctx.thread_id, undone=undone,
-                        full=full)
+                        full=full, outer=outer, cause=cause_str, fp=fp,
+                        via=via, category=category)
         if full and not ctx.in_tx:
             # A completed (fully aborted) transaction also discharges any
             # summary obligation from an earlier migration.
@@ -136,10 +155,9 @@ class TMManager:
     def _raise_if_squashed(ctx) -> None:
         """An asynchronous squash already unrolled this transaction; hand
         the thread to its executor's retry loop instead of 'committing'."""
-        from repro.common.errors import AbortTransaction
         if ctx.aborted_by_os and not ctx.in_tx:
             ctx.aborted_by_os = False
-            raise AbortTransaction("squashed before commit")
+            raise AbortTransaction("squashed before commit", cause="squash")
 
     # ------------------------------------------------------------------
     # Lazy (Bulk-style) commit — the Section 8 comparator
@@ -187,6 +205,11 @@ class TMManager:
                         octx.abort_all(self.memory, other.translate)
                         octx.aborted_by_os = True
                         squashed += 1
+                        self.stats.counter("tm.aborts.other").add()
+                        self.stats.emit("tm.abort", thread=octx.thread_id,
+                                        undone=0, full=True, outer=True,
+                                        cause="squash", fp=False,
+                                        via="targeted", category="other")
             if squashed:
                 self.stats.counter("tm.lazy_squashes").add(squashed)
 
@@ -268,6 +291,10 @@ class TMManager:
             self.stats.counter("tm.lazy_preemption_aborts").add()
             ctx.abort_all(self.memory, thread.translate)
             ctx.aborted_by_os = True
+            self.stats.counter("tm.aborts.other").add()
+            self.stats.emit("tm.abort", thread=ctx.thread_id, undone=0,
+                            full=True, outer=True, cause="preemption",
+                            fp=False, via="targeted", category="other")
             yield self.cfg.tm.abort_handler_cycles
             slot.unbind()
             return thread
@@ -278,6 +305,10 @@ class TMManager:
             self.stats.counter("tm.classic_preemption_aborts").add()
             undone = ctx.abort_all(self.memory, thread.translate)
             ctx.aborted_by_os = True
+            self.stats.counter("tm.aborts.other").add()
+            self.stats.emit("tm.abort", thread=ctx.thread_id, undone=undone,
+                            full=True, outer=True, cause="preemption",
+                            fp=False, via="targeted", category="other")
             yield (self.cfg.tm.abort_handler_cycles
                    + undone * self.cfg.tm.abort_cycles_per_entry)
             slot.unbind()
@@ -364,6 +395,8 @@ class TMManager:
         computed = self._summary_pair(asid, exclude_tid)
         slot.summary.restore(computed.snapshot())
         self._c_summary_installs.add()
+        self.stats.emit("os.summary_install", slot=slot.global_id,
+                        asid=asid, exclude=exclude_tid)
 
     def _push_summaries(self, asid: int):
         """Interrupt every context running ``asid`` and install the summary."""

@@ -33,7 +33,8 @@ class TxContext:
         #: Union of descheduled same-process transactions' signatures,
         #: installed by the OS (Section 4.1). Checked on *every* reference.
         self.summary = summary
-        self.log = UndoLog(block_bytes=block_bytes)
+        self.log = UndoLog(block_bytes=block_bytes, stats=stats,
+                           thread_id=thread_id)
         self.log_filter = LogFilter(entries=log_filter_entries)
         self.stats = stats
         self.timestamp: Optional[Timestamp] = None
@@ -42,6 +43,10 @@ class TxContext:
         #: transaction must abort at its next transactional instruction
         #: boundary (it cannot be unrolled mid-escape or asynchronously).
         self.pending_abort = False
+        #: Whether the winning requester's conflict with us was pure
+        #: signature aliasing — carried alongside ``pending_abort`` so the
+        #: doomed transaction's abort attributes correctly.
+        self.pending_abort_fp = False
         #: Set when the OS already unrolled this transaction (classic-LogTM
         #: preemption abort, or a lazy-mode commit-time squash); the
         #: executor observes it on resume and restarts the section.
@@ -122,6 +127,7 @@ class TxContext:
             # A doom mark that raced with commit is moot: committing
             # resolved the conflict in our favor.
             self.pending_abort = False
+            self.pending_abort_fp = False
             self.write_buffer.clear()
             self._commits.add()
             return True
@@ -173,6 +179,7 @@ class TxContext:
         # An abort may unwind out of an escape action; reset the balance.
         self.escape_depth = 0
         self.pending_abort = False
+        self.pending_abort_fp = False
         # Lazy mode: discarding the buffer *is* the whole version rollback.
         self.write_buffer.clear()
         self._aborts.add()

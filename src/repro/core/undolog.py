@@ -42,11 +42,20 @@ class LogFrame:
 
 
 class UndoLog:
-    """Stack of log frames for one thread context."""
+    """Stack of log frames for one thread context.
 
-    def __init__(self, block_bytes: int = 64) -> None:
+    ``stats``/``thread_id`` are optional observability wiring: with a
+    registry attached, the log emits ``log.append``/``log.unroll`` events
+    so trace consumers can see version-management activity (log growth,
+    abort walk lengths) alongside the coherence stream.
+    """
+
+    def __init__(self, block_bytes: int = 64, stats: Any = None,
+                 thread_id: Optional[int] = None) -> None:
         self.block_bytes = block_bytes
         self._frames: List[LogFrame] = []
+        self._stats = stats
+        self._thread_id = thread_id
         #: Total records ever appended in the current outer transaction —
         #: the "log pointer" that commit resets.
         self.appended = 0
@@ -118,6 +127,9 @@ class UndoLog:
         record = UndoRecord(vblock=vblock, old_words=old_words)
         self.current.records.append(record)
         self.appended += 1
+        if self._stats is not None and self._stats.recorder is not None:
+            self._stats.emit("log.append", thread=self._thread_id,
+                             vblock=vblock, depth=self.depth)
         return record
 
     def unroll_frame(self, memory: PhysicalMemory,
@@ -127,10 +139,14 @@ class UndoLog:
         Returns the number of records undone. The frame is popped; the
         caller restores the saved signature from its header.
         """
+        depth = self.depth
         frame = self.pop_frame()
         for record in reversed(frame.records):
             for vaddr, old in record.old_words.items():
                 memory.store(translate(vaddr), old)
+        if self._stats is not None and self._stats.recorder is not None:
+            self._stats.emit("log.unroll", thread=self._thread_id,
+                             records=len(frame.records), depth=depth)
         return len(frame.records)
 
     @property

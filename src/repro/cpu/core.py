@@ -33,6 +33,7 @@ from repro.common.errors import (AbortTransaction, PreemptedAccess,
 from repro.common.stats import StatsRegistry
 from repro.core.conflict import BackoffPolicy
 from repro.core.policies import ContentionPolicy, Decision, make_policy
+from repro.obs.analysis import dominant_via
 from repro.cpu.thread import HardwareSlot
 from repro.mem.address import AddressMap
 from repro.mem.physical import PhysicalMemory
@@ -112,12 +113,13 @@ class Core(ConflictPort):
                                         ctx.timestamp, fp))
         return blockers
 
-    def mark_abort(self, thread_id: int) -> bool:
+    def mark_abort(self, thread_id: int, fp: bool = False) -> bool:
         for slot in self.slots:
             thread = slot.thread
             if thread is not None and thread.tid == thread_id:
                 if thread.ctx.in_tx:
                     thread.ctx.pending_abort = True
+                    thread.ctx.pending_abort_fp = fp
                     self.stats.counter("tm.remote_abort_requests").add()
                     return True
                 return False
@@ -168,7 +170,7 @@ class Core(ConflictPort):
         ctx = slot.thread.ctx if slot.thread else None
         if ctx is not None and ctx.aborted_by_os:
             ctx.aborted_by_os = False
-            raise AbortTransaction("squashed asynchronously")
+            raise AbortTransaction("squashed asynchronously", cause="squash")
 
     def load(self, slot: HardwareSlot, vaddr: int):
         """Load a word; returns its value."""
@@ -262,7 +264,9 @@ class Core(ConflictPort):
                 raise PreemptedAccess(f"thread {thread.tid} preempted")
             # ...and honor a remote contention manager's doom mark.
             if ctx.pending_abort and ctx.transactional:
-                raise AbortTransaction("remote contention-manager abort")
+                raise AbortTransaction("remote contention-manager abort",
+                                       cause="remote",
+                                       fp=ctx.pending_abort_fp)
             # Translation can change under paging; recompute each retry.
             block = self.amap.block_of(thread.translate(vaddr))
 
@@ -274,12 +278,15 @@ class Core(ConflictPort):
                     and not slot.summary.is_empty
                     and slot.summary.conflicts(is_write, block)):
                 self._c_summary.add()
-                self._note_conflict(ctx, fp=slot.summary.
-                                    conflict_is_false_positive(is_write, block))
+                summary_fp = slot.summary.conflict_is_false_positive(
+                    is_write, block)
+                self._note_conflict(ctx, fp=summary_fp, source="summary",
+                                    block=block)
                 if ctx.transactional:
                     # Stalling cannot resolve a conflict with a descheduled
                     # transaction; trap and abort (Section 4.1).
-                    raise AbortTransaction("summary-signature conflict")
+                    raise AbortTransaction("summary-signature conflict",
+                                           cause="summary", fp=summary_fp)
                 yield self.backoff.stall_delay()
                 continue
 
@@ -291,7 +298,9 @@ class Core(ConflictPort):
             if sibling_blockers:
                 self._c_sibling.add()
                 self._note_conflict(ctx, fp=all(
-                    b.false_positive for b in sibling_blockers))
+                    b.false_positive for b in sibling_blockers),
+                    source="sibling", block=block,
+                    blockers=sibling_blockers)
                 yield from self._resolve_or_stall(ctx, sibling_blockers,
                                                   retries=_attempt)
                 continue
@@ -318,7 +327,9 @@ class Core(ConflictPort):
                 # Looping re-runs the summary/sibling checks against the
                 # now-resident copy before the access commits.
                 continue
-            self._note_conflict(ctx, fp=result.all_false_positive)
+            self._note_conflict(ctx, fp=result.all_false_positive,
+                                source="coherence", block=block,
+                                blockers=result.blockers)
             yield from self._resolve_or_stall(ctx, result.blockers,
                                               retries=_attempt)
         else:
@@ -373,30 +384,49 @@ class Core(ConflictPort):
         """
         if ctx.transactional:
             self._c_stalls.add()
-            self.stats.emit("tm.stall", thread=ctx.thread_id,
-                            blockers=len(blockers))
+            fp = bool(blockers) and all(b.false_positive for b in blockers)
+            via = dominant_via(b.via for b in blockers)
+            if self.stats.recorder is not None:
+                self.stats.emit("tm.stall", thread=ctx.thread_id,
+                                blockers=len(blockers), fp=fp, via=via)
             decision = self.policy.decide(ctx, blockers, retries)
             if decision is Decision.ABORT_SELF:
                 limit = self.cfg.tm.max_retries_before_abort
                 if limit and retries >= limit:
                     self.stats.counter("tm.starvation_aborts").add()
                 raise AbortTransaction(
-                    f"contention manager ({self.policy.name})")
+                    f"contention manager ({self.policy.name})",
+                    cause="conflict", fp=fp, via=via)
             if decision is Decision.ABORT_OTHERS:
                 for blocker in blockers:
                     port = self.fabric.port(blocker.core_id)
-                    port.mark_abort(blocker.thread_id)
+                    port.mark_abort(blocker.thread_id,
+                                    fp=blocker.false_positive)
         else:
             self._c_nontx_stalls.add()
         delay = self.backoff.stall_delay()
         self.stats.counter("tm.stall_cycles").add(delay)
         yield delay
 
-    def _note_conflict(self, ctx, fp: bool) -> None:
-        """Table 3 accounting: every detected conflict, real or aliased."""
+    def _note_conflict(self, ctx, fp: bool, source: str = "coherence",
+                       block: Optional[int] = None,
+                       blockers: Optional[List[Blocker]] = None) -> None:
+        """Table 3 accounting: every detected conflict, real or aliased.
+
+        With a recorder attached, also emits a ``tm.conflict`` event naming
+        the detection point (``summary``/``sibling``/``coherence``), the
+        block, and the blocking threads — the raw material for
+        :class:`repro.obs.analysis.ConflictGraph`.
+        """
         self._c_conflicts.add()
         if fp:
             self._c_conflicts_fp.add()
+        if self.stats.recorder is not None:
+            self.stats.emit(
+                "tm.conflict", thread=ctx.thread_id, source=source, fp=fp,
+                block=block,
+                blockers=tuple((b.thread_id, b.false_positive, b.via)
+                               for b in blockers or ()))
 
     def __repr__(self) -> str:
         return f"Core({self._core_id}, slots={len(self.slots)})"

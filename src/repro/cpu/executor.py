@@ -109,7 +109,8 @@ class ThreadExecutor:
                 # Classic-LogTM preemption unrolled the transaction while
                 # we were parked; restart it through the normal retry path.
                 self.thread.ctx.aborted_by_os = False
-                raise AbortTransaction("aborted by OS preemption")
+                raise AbortTransaction("aborted by OS preemption",
+                                       cause="preemption")
             return
 
     def _run_transactional(self, section: Section):
@@ -121,8 +122,9 @@ class ThreadExecutor:
                 yield from self._run_ops(section.ops)
                 yield from self.manager.commit(self.slot)
                 return
-            except AbortTransaction:
-                yield from self.manager.abort(self.slot, full=True)
+            except AbortTransaction as exc:
+                yield from self.manager.abort(self.slot, full=True,
+                                              cause=exc)
                 yield self.backoff.restart_delay(attempt + 1)
                 yield from self._preemption_point()
         raise WorkloadError(

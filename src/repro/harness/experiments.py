@@ -11,6 +11,7 @@ record paper-vs-measured values. Scales:
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -25,8 +26,8 @@ from repro.harness.runner import RunResult, run_perturbed, run_workload
 from repro.harness.sweep import run_sweep
 from repro.signatures.factory import make_signature
 from repro.common.config import SignatureConfig
-from repro.workloads import (BerkeleyDB, Cholesky, Mp3d, Radiosity, Raytrace,
-                             Workload)
+from repro.workloads import (BerkeleyDB, BigFootprint, Cholesky, Mp3d,
+                             Radiosity, Raytrace, Workload)
 
 
 @dataclass(frozen=True)
@@ -224,6 +225,69 @@ def render_figure3(points: Sequence[Figure3Point]) -> str:
         [(p.kind, p.bits, p.inserted, p.false_positive_rate)
          for p in points],
         title="Figure 3: signature designs, measured aliasing")
+
+
+@dataclass
+class Figure3AttributionRow:
+    """Abort attribution of one signature variant on the stress microbench."""
+
+    signature: str
+    commits: int
+    aborts: int
+    aborts_true_conflict: int
+    aborts_false_positive: int
+    aborts_other: int
+
+
+def figure3_attribution(seed: int = DEFAULT_SEED,
+                        base_cfg: Optional[SystemConfig] = None,
+                        num_threads: int = 4, units: int = 2,
+                        blocks_per_sweep: int = 96,
+                        bit_sizes: Sequence[int] = (64, 2048)
+                        ) -> List[Figure3AttributionRow]:
+    """In-simulation companion to :func:`figure3`: *where aborts come from*.
+
+    Runs the large-footprint microbench (write sets that fill small
+    signatures) under a perfect signature and bit-select signatures of the
+    Figure 3 sizes, then splits each variant's aborts with the
+    :mod:`repro.obs.analysis` attribution counters. The snooping substrate
+    is used so every request probes every remote signature — with disjoint
+    per-thread write sets a perfect signature therefore cannot abort at
+    all, and every abort that appears under BS is aliasing: the cost
+    Figure 3's false-positive rates predict.
+    """
+    base = base_cfg or dataclasses.replace(
+        SystemConfig.small(), coherence=CoherenceStyle.SNOOPING)
+    variants = [("Perfect", base.with_signature(SignatureKind.PERFECT))]
+    for bits in bit_sizes:
+        variants.append((f"BS_{bits}",
+                         base.with_signature(SignatureKind.BIT_SELECT,
+                                             bits=bits)))
+    rows: List[Figure3AttributionRow] = []
+    for label, cfg in variants:
+        workload = BigFootprint(num_threads=num_threads,
+                                units_per_thread=units,
+                                blocks_per_sweep=blocks_per_sweep,
+                                seed=seed)
+        result = run_workload(cfg, workload, seed=seed, config_label=label)
+        rows.append(Figure3AttributionRow(
+            signature=label,
+            commits=result.commits,
+            aborts=result.aborts,
+            aborts_true_conflict=result.aborts_true_conflict,
+            aborts_false_positive=result.aborts_false_positive,
+            aborts_other=(result.aborts - result.aborts_true_conflict
+                          - result.aborts_false_positive)))
+    return rows
+
+
+def render_figure3_attribution(rows: Sequence[Figure3AttributionRow]) -> str:
+    return render_table(
+        ["Signature", "Commits", "Aborts", "True conflict",
+         "False positive", "Other"],
+        [(r.signature, r.commits, r.aborts, r.aborts_true_conflict,
+          r.aborts_false_positive, r.aborts_other) for r in rows],
+        title="Figure 3 companion: abort attribution (BigFootprint)")
 
 
 # ---------------------------------------------------------------------------

@@ -164,7 +164,13 @@ class ResultCache:
 
 @dataclass
 class RunTask:
-    """One independent sweep cell: run ``make_workload()`` under ``cfg``."""
+    """One independent sweep cell: run ``make_workload()`` under ``cfg``.
+
+    With ``trace_dir`` set, the cell runs traced and writes its trace
+    artifacts (``<key>.trace.json`` Chrome trace + ``<key>.jsonl`` raw
+    events) into that directory *inside the worker* — events never travel
+    through the result pipe or the cache.
+    """
 
     key: str                                  # unique id within the batch
     label: str                                # RunResult.config_label
@@ -172,6 +178,12 @@ class RunTask:
     make_workload: Callable[[], Workload]
     seed: int = DEFAULT_SEED
     cycle_limit: int = DEFAULT_CYCLE_LIMIT
+    trace_dir: Optional[str] = None
+
+
+def _artifact_stem(key: str) -> str:
+    """Filesystem-safe artifact name for a task key."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
 
 
 @dataclass
@@ -186,9 +198,23 @@ class TaskOutcome:
 
 
 def _run_task(task: RunTask) -> RunResult:
-    return run_workload(task.cfg, task.make_workload(), seed=task.seed,
-                        cycle_limit=task.cycle_limit,
-                        config_label=task.label)
+    result = run_workload(task.cfg, task.make_workload(), seed=task.seed,
+                          cycle_limit=task.cycle_limit,
+                          config_label=task.label,
+                          trace=task.trace_dir is not None)
+    if task.trace_dir is not None and result.events is not None:
+        from repro.obs.export import export_chrome_trace, export_jsonl
+        out = Path(task.trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        stem = _artifact_stem(task.key)
+        label = f"{result.workload} [{task.label}]"
+        export_chrome_trace(result.events, str(out / f"{stem}.trace.json"),
+                            label=label)
+        export_jsonl(result.events, str(out / f"{stem}.jsonl"))
+        # Events stay on disk; shipping them through the result pipe (or
+        # pickling them into the cache) would cost far more than the run.
+        result.events = None
+    return result
 
 
 def _worker(task: RunTask, conn) -> None:  # pragma: no cover - child process
@@ -378,13 +404,18 @@ def run_parallel_sweep(variants, workload_factory,
                        jobs: Optional[int] = None,
                        cache: Optional[ResultCache] = None,
                        timeout: Optional[float] = None,
-                       retries: int = 1):
+                       retries: int = 1,
+                       trace_dir: Optional[str] = None):
     """Parallel/cached engine behind ``run_sweep(..., jobs=N)``.
 
     Produces a ``SweepResult`` equal to the serial one (results are stored
     in variant order regardless of completion order), with execution
     metadata in ``SweepResult.meta``: per-variant wall time, cache-hit
     flags and attempt counts, plus batch totals.
+
+    ``trace_dir`` writes per-variant trace artifacts (Chrome trace JSON +
+    JSONL) into that directory and disables the cache for the batch — a
+    cache hit would skip the run that produces the artifacts.
     """
     from repro.harness.sweep import SweepResult  # circular at import time
 
@@ -395,9 +426,12 @@ def run_parallel_sweep(variants, workload_factory,
         raise ValueError(f"duplicate variant label {dup!r}")
     if baseline_label is not None and baseline_label not in labels:
         raise ValueError(f"baseline {baseline_label!r} not in sweep")
+    if trace_dir is not None:
+        cache = None
 
     tasks = [RunTask(key=label, label=label, cfg=cfg,
-                     make_workload=workload_factory, seed=seed)
+                     make_workload=workload_factory, seed=seed,
+                     trace_dir=trace_dir)
              for label, cfg in variants]
     started = time.perf_counter()
     outcomes = execute_tasks(tasks, jobs=jobs, timeout=timeout,

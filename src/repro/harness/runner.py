@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.events import Event
+
 from repro.common.config import SyncMode, SystemConfig
 from repro.common.rng import DEFAULT_SEED, make_rng, perturbed_seeds
 from repro.common.stats import ConfidenceInterval, Histogram
@@ -39,6 +41,11 @@ class RunResult:
     counters: Dict[str, int]
     histograms: Dict[str, Histogram] = field(default_factory=dict)
     system: Optional[System] = None
+    #: Observability events captured during the run (``trace=True``); not
+    #: part of equality or the JSON record — use the exporters in
+    #: :mod:`repro.obs.export` to persist them.
+    events: Optional[List[Event]] = field(default=None, compare=False,
+                                          repr=False)
 
     @property
     def commits(self) -> int:
@@ -47,6 +54,16 @@ class RunResult:
     @property
     def aborts(self) -> int:
         return self.counters.get("tm.aborts", 0)
+
+    @property
+    def aborts_true_conflict(self) -> int:
+        """Outer aborts attributed to a real data conflict."""
+        return self.counters.get("tm.aborts.true_conflict", 0)
+
+    @property
+    def aborts_false_positive(self) -> int:
+        """Outer aborts attributed purely to signature aliasing."""
+        return self.counters.get("tm.aborts.false_positive", 0)
 
     @property
     def stalls(self) -> int:
@@ -81,6 +98,8 @@ class RunResult:
             "units": self.units,
             "commits": self.commits,
             "aborts": self.aborts,
+            "aborts_true_conflict": self.aborts_true_conflict,
+            "aborts_false_positive": self.aborts_false_positive,
             "stalls": self.stalls,
             "false_positive_pct": self.false_positive_pct,
             "victimizations": self.victimizations,
@@ -118,15 +137,28 @@ def run_workload(cfg: SystemConfig, workload: Workload,
                  cycle_limit: int = DEFAULT_CYCLE_LIMIT,
                  config_label: str = "",
                  start_skew: int = 1000,
-                 keep_system: bool = False) -> RunResult:
+                 keep_system: bool = False,
+                 trace: bool = False,
+                 trace_max_events: int = 1_000_000,
+                 trace_kinds: Optional[List[str]] = None) -> RunResult:
     """Execute one workload to completion on a freshly built system.
 
     ``start_skew`` staggers thread start times uniformly over that many
     cycles, modeling thread-creation skew (real programs never release all
     threads in the same cycle; a perfectly symmetric start is a simulation
     artifact that manufactures worst-case conflicts).
+
+    ``trace=True`` attaches an event bus + ring-buffer log for the run and
+    returns the captured events on ``RunResult.events`` (``trace_kinds``
+    restricts what is kept — exact kinds or whole namespaces like
+    ``"tm"``). Tracing slows simulation; leave it off for measurement
+    sweeps unless artifacts are wanted.
     """
     system = System(cfg, seed=seed)
+    trace_log = None
+    if trace:
+        _bus, trace_log = system.attach_bus(max_events=trace_max_events,
+                                            kinds=trace_kinds)
     threads = system.place_threads(workload.num_threads)
     procs = []
     executors: List[ThreadExecutor] = []
@@ -156,6 +188,7 @@ def run_workload(cfg: SystemConfig, workload: Workload,
         counters=system.stats.snapshot(),
         histograms=system.stats.histograms(),
         system=system if keep_system else None,
+        events=trace_log.events() if trace_log is not None else None,
     )
 
 

@@ -100,7 +100,8 @@ def run_sweep(variants: Iterable[Variant],
               jobs: Optional[int] = 1,
               cache=None,
               timeout: Optional[float] = None,
-              retries: int = 1) -> SweepResult:
+              retries: int = 1,
+              trace_dir: Optional[str] = None) -> SweepResult:
     """Run the factory's workload under every variant configuration.
 
     ``jobs=1`` with no cache/timeout is the exact serial implementation.
@@ -109,13 +110,17 @@ def run_sweep(variants: Iterable[Variant],
     ``timeout`` route through the parallel engine, which returns an equal
     ``SweepResult`` plus execution metadata in ``.meta``. ``retries``
     bounds relaunches after a worker crash (parallel engine only).
+    ``trace_dir`` writes per-variant observability artifacts (Chrome trace
+    JSON + JSONL) into that directory; it routes through the parallel
+    engine and disables the cache (cached hits produce no artifacts).
     """
-    if jobs != 1 or cache is not None or timeout is not None:
+    if (jobs != 1 or cache is not None or timeout is not None
+            or trace_dir is not None):
         from repro.harness.parallel import run_parallel_sweep
         return run_parallel_sweep(variants, workload_factory, seed=seed,
                                   baseline_label=baseline_label, jobs=jobs,
                                   cache=cache, timeout=timeout,
-                                  retries=retries)
+                                  retries=retries, trace_dir=trace_dir)
     sweep = SweepResult(baseline_label=baseline_label)
     for label, cfg in variants:
         if label in sweep.results:

@@ -127,12 +127,37 @@ class System:
         return threads
 
     def attach_tracer(self, max_events: int = 100_000, kinds=None):
-        """Attach a TraceRecorder capturing TM/OS lifecycle events."""
-        from repro.harness.trace import TraceRecorder
+        """Attach a TraceRecorder capturing TM/OS lifecycle events.
+
+        Legacy single-sink path (see :meth:`attach_bus` for the full
+        observability subsystem); also wires the simulation kernel's
+        tracer hook so ``sim.*`` events are captured.
+        """
+        from repro.obs.bus import TraceRecorder
         recorder = TraceRecorder(clock=lambda: self.sim.now,
                                  max_events=max_events, kinds=kinds)
         self.stats.recorder = recorder
+        self.sim.tracer = recorder
         return recorder
+
+    def attach_bus(self, max_events: int = 100_000, kinds=None,
+                   strict: bool = False):
+        """Attach an :class:`repro.obs.bus.EventBus` plus a ring-buffer log.
+
+        Every component's ``stats.emit(...)`` (and the sim kernel's
+        process events) then publish on the bus; the returned
+        ``(bus, log)`` pair gives both the fan-out point for extra
+        subscribers (metrics, streaming exporters) and a bounded buffer of
+        what happened. ``kinds`` filters what the *log* keeps (exact kinds
+        or whole namespaces); the bus itself sees everything.
+        """
+        from repro.obs.bus import EventBus, RingBufferLog
+        bus = EventBus(clock=lambda: self.sim.now, strict=strict)
+        log = RingBufferLog(max_events=max_events, kinds=kinds)
+        bus.subscribe(log)
+        self.stats.recorder = bus
+        self.sim.tracer = bus
+        return bus, log
 
     def slot_of(self, thread: SoftwareThread) -> HardwareSlot:
         if thread.slot is None:

@@ -1,119 +1,19 @@
-"""Transaction-lifecycle tracing.
+"""Deprecated shim: transaction-lifecycle tracing moved to ``repro.obs``.
 
-A :class:`TraceRecorder` attached to a system's :class:`StatsRegistry`
-captures timestamped events — transaction begins/commits/aborts, stalls,
-OS virtualization events — into a bounded ring buffer. It is an
-observability tool for debugging model behaviour and for the examples'
-timelines; recording is off unless a recorder is attached, so the hot path
-costs one attribute check.
+The pre-observability API lived here: a ``TraceRecorder`` attached to a
+system's :class:`~repro.common.stats.StatsRegistry` captured timestamped
+``TraceEvent`` records into a bounded ring buffer. That machinery is now
+the :mod:`repro.obs` subsystem (typed taxonomy, event bus, analyzers,
+exporters); this module re-exports the two legacy names so existing
+imports — ``from repro.harness.trace import TraceRecorder`` and
+``System.attach_tracer()`` — keep working unchanged.
+
+New code should use ``System.attach_bus()`` and :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-from collections import Counter, deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+from repro.obs.bus import TraceRecorder
+from repro.obs.events import TraceEvent
 
-from repro.harness.report import render_table
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded event."""
-
-    time: int
-    kind: str
-    fields: Dict[str, Any] = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        details = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
-        return f"[{self.time}] {self.kind} {details}".rstrip()
-
-
-class TraceRecorder:
-    """Bounded ring buffer of simulation events."""
-
-    def __init__(self, clock: Callable[[], int], max_events: int = 100_000,
-                 kinds: Optional[Iterable[str]] = None) -> None:
-        if max_events < 1:
-            raise ValueError("max_events must be positive")
-        self._clock = clock
-        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
-        #: When set, only these event kinds are recorded.
-        self._kinds = set(kinds) if kinds is not None else None
-        self.dropped = 0
-
-    def record(self, kind: str, **fields: Any) -> None:
-        if self._kinds is not None and kind not in self._kinds:
-            return
-        if len(self._events) == self._events.maxlen:
-            self.dropped += 1
-        self._events.append(TraceEvent(self._clock(), kind, fields))
-
-    # -- queries -------------------------------------------------------------
-
-    def events(self, kind: Optional[str] = None,
-               thread: Optional[int] = None) -> List[TraceEvent]:
-        out = []
-        for event in self._events:
-            if kind is not None and event.kind != kind:
-                continue
-            if thread is not None and event.fields.get("thread") != thread:
-                continue
-            out.append(event)
-        return out
-
-    def __len__(self) -> int:
-        return len(self._events)
-
-    def counts(self) -> Dict[str, int]:
-        return dict(Counter(e.kind for e in self._events))
-
-    def transactions(self, thread: int) -> List[Dict[str, Any]]:
-        """Reconstruct one thread's transaction attempts.
-
-        Returns one record per outer begin: start/end time and outcome
-        ("commit" / "abort" / "open" if the trace ends mid-transaction).
-        """
-        records: List[Dict[str, Any]] = []
-        current: Optional[Dict[str, Any]] = None
-        for event in self._events:
-            if event.fields.get("thread") != thread:
-                continue
-            if event.kind == "tm.begin" and event.fields.get("depth") == 1:
-                current = {"start": event.time, "end": None,
-                           "outcome": "open", "stalls": 0}
-                records.append(current)
-            elif current is not None:
-                if event.kind == "tm.stall":
-                    current["stalls"] += 1
-                elif event.kind == "tm.commit" and \
-                        event.fields.get("outer"):
-                    current.update(end=event.time, outcome="commit")
-                    current = None
-                elif event.kind == "tm.abort":
-                    current.update(end=event.time, outcome="abort")
-                    current = None
-        return records
-
-    def render(self, limit: int = 50) -> str:
-        """Human-readable tail of the trace."""
-        tail = list(self._events)[-limit:]
-        return "\n".join(str(e) for e in tail)
-
-    def summary_table(self, threads: Iterable[int]) -> str:
-        rows = []
-        for tid in threads:
-            attempts = self.transactions(tid)
-            commits = sum(1 for a in attempts if a["outcome"] == "commit")
-            aborts = sum(1 for a in attempts if a["outcome"] == "abort")
-            stalls = sum(a["stalls"] for a in attempts)
-            durations = [a["end"] - a["start"] for a in attempts
-                         if a["end"] is not None]
-            mean_dur = sum(durations) / len(durations) if durations else 0.0
-            rows.append((tid, len(attempts), commits, aborts, stalls,
-                         mean_dur))
-        return render_table(
-            ["Thread", "Attempts", "Commits", "Aborts", "Stalls",
-             "Mean cycles"],
-            rows, title="Per-thread transaction summary")
+__all__ = ["TraceEvent", "TraceRecorder"]

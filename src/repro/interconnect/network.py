@@ -35,16 +35,28 @@ class Network:
     def core_to_bank(self, core_id: int, bank_id: int,
                      msg_class: str = "request") -> int:
         hops = self.topology.core_to_bank_hops(core_id, bank_id)
+        # net.msg events are guarded: this is the hottest emission site in
+        # the machine, and building the kwargs dict must cost nothing when
+        # no bus/recorder is attached.
+        if self._stats.recorder is not None:
+            self._stats.emit("net.msg", route="core_to_bank", src=core_id,
+                             dst=bank_id, cls=msg_class, hops=hops)
         return self._charge(hops, msg_class)
 
     def bank_to_core(self, bank_id: int, core_id: int,
                      msg_class: str = "response") -> int:
         hops = self.topology.core_to_bank_hops(core_id, bank_id)
+        if self._stats.recorder is not None:
+            self._stats.emit("net.msg", route="bank_to_core", src=bank_id,
+                             dst=core_id, cls=msg_class, hops=hops)
         return self._charge(hops, msg_class)
 
     def core_to_core(self, src: int, dst: int,
                      msg_class: str = "forward") -> int:
         hops = self.topology.core_to_core_hops(src, dst)
+        if self._stats.recorder is not None:
+            self._stats.emit("net.msg", route="core_to_core", src=src,
+                             dst=dst, cls=msg_class, hops=hops)
         return self._charge(hops, msg_class)
 
     def broadcast_from_bank(self, bank_id: int,
@@ -62,4 +74,7 @@ class Network:
             self._hops.add(hops)
             worst = max(worst, hops)
         self._stats.counter(f"network.msg.{msg_class}").add()
+        if self._stats.recorder is not None:
+            self._stats.emit("net.msg", route="broadcast", src=bank_id,
+                             dst=-1, cls=msg_class, hops=worst)
         return max(worst, 1) * self.link_latency

@@ -1,0 +1,216 @@
+"""The event bus and its in-memory sink.
+
+:class:`EventBus` is the fan-out point between emitters (every model
+component that calls ``stats.emit(...)``) and consumers (ring-buffer logs,
+metrics, streaming exporters). It is attached to a system through
+:meth:`repro.harness.system.System.attach_bus`; the registry's ``emit`` is
+one attribute check when nothing is attached, so instrumentation is
+zero-cost in ordinary (untraced) runs.
+
+:class:`RingBufferLog` is the standard sink: a bounded deque of events with
+query helpers. :class:`TraceRecorder` is the legacy standalone flavor (its
+own clock, same query surface) kept for the pre-obs
+``repro.harness.trace`` API.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from collections import deque
+from typing import (Any, Callable, Deque, Dict, Iterable, List, Optional,
+                    Set)
+
+from repro.obs.events import Event, namespace_of, validate_kind
+
+#: A subscriber: any callable taking one :class:`Event`.
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Dispatches typed events to subscribers.
+
+    ``clock`` supplies the virtual timestamp (usually ``lambda:
+    system.sim.now``). Subscribers may restrict themselves to exact kinds
+    and/or namespaces; with no restriction they receive everything.
+    ``strict=True`` validates every emitted kind against the documented
+    taxonomy — useful in tests to catch typo'd instrumentation.
+    """
+
+    def __init__(self, clock: Callable[[], int],
+                 strict: bool = False) -> None:
+        self._clock = clock
+        self.strict = strict
+        #: (subscriber, exact kinds or None, namespaces or None)
+        self._subs: List[tuple] = []
+        self.emitted = 0
+
+    # -- subscription ------------------------------------------------------
+
+    def subscribe(self, subscriber: Subscriber,
+                  kinds: Optional[Iterable[str]] = None,
+                  namespaces: Optional[Iterable[str]] = None) -> Subscriber:
+        """Register a subscriber; returns it (handy for chaining)."""
+        kind_set: Optional[Set[str]] = set(kinds) if kinds else None
+        ns_set: Optional[Set[str]] = set(namespaces) if namespaces else None
+        self._subs.append((subscriber, kind_set, ns_set))
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> bool:
+        """Remove a subscriber; True if it was registered."""
+        for i, (sub, _k, _n) in enumerate(self._subs):
+            if sub is subscriber:
+                del self._subs[i]
+                return True
+        return False
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)
+
+    # -- emission ----------------------------------------------------------
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Build an event at the current virtual time and dispatch it.
+
+        This is the same signature as the legacy ``TraceRecorder.record``,
+        so a bus can sit directly behind ``StatsRegistry.recorder``.
+        """
+        if self.strict:
+            validate_kind(kind)
+        self.publish(Event(self._clock(), kind, fields))
+
+    def publish(self, event: Event) -> None:
+        """Dispatch a pre-built event to every matching subscriber."""
+        self.emitted += 1
+        for sub, kind_set, ns_set in self._subs:
+            if kind_set is None and ns_set is None:
+                sub(event)
+            elif ((kind_set is not None and event.kind in kind_set)
+                  or (ns_set is not None
+                      and namespace_of(event.kind) in ns_set)):
+                sub(event)
+
+
+class RingBufferLog:
+    """Bounded in-memory event log with query helpers.
+
+    Subscribes to a bus (it is callable) or receives events directly via
+    :meth:`append`. ``kinds`` filters what is kept: an entry matches an
+    exact kind (``"tm.commit"``) or a whole namespace (``"tm"``).
+    """
+
+    def __init__(self, max_events: int = 100_000,
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self._events: Deque[Event] = deque(maxlen=max_events)
+        self._kinds = set(kinds) if kinds is not None else None
+        self.dropped = 0
+
+    def _wanted(self, kind: str) -> bool:
+        if self._kinds is None:
+            return True
+        return kind in self._kinds or namespace_of(kind) in self._kinds
+
+    def __call__(self, event: Event) -> None:
+        self.append(event)
+
+    def append(self, event: Event) -> None:
+        if not self._wanted(event.kind):
+            return
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(event)
+
+    # -- queries -----------------------------------------------------------
+
+    def events(self, kind: Optional[str] = None,
+               thread: Optional[int] = None) -> List[Event]:
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if thread is not None and event.fields.get("thread") != thread:
+                continue
+            out.append(event)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(_Counter(e.kind for e in self._events))
+
+    def transactions(self, thread: int) -> List[Dict[str, Any]]:
+        """Reconstruct one thread's outer transaction attempts.
+
+        Returns one record per outer begin: start/end time and outcome
+        ("commit" / "abort" / "open" if the trace ends mid-transaction).
+        Only an *outer* abort closes the attempt: a partial (inner) abort
+        carries ``outer=False`` and leaves the attempt open, exactly like
+        an inner commit does. Events without an ``outer`` field (legacy
+        recordings) are treated as outer aborts.
+        """
+        records: List[Dict[str, Any]] = []
+        current: Optional[Dict[str, Any]] = None
+        for event in self._events:
+            if event.fields.get("thread") != thread:
+                continue
+            if event.kind == "tm.begin" and event.fields.get("depth") == 1:
+                current = {"start": event.time, "end": None,
+                           "outcome": "open", "stalls": 0}
+                records.append(current)
+            elif current is not None:
+                if event.kind == "tm.stall":
+                    current["stalls"] += 1
+                elif event.kind == "tm.commit" and \
+                        event.fields.get("outer"):
+                    current.update(end=event.time, outcome="commit")
+                    current = None
+                elif event.kind == "tm.abort" and \
+                        event.fields.get("outer", True):
+                    current.update(end=event.time, outcome="abort")
+                    current = None
+        return records
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable tail of the log."""
+        tail = list(self._events)[-limit:]
+        return "\n".join(str(e) for e in tail)
+
+    def summary_table(self, threads: Iterable[int]) -> str:
+        from repro.harness.report import render_table
+        rows = []
+        for tid in threads:
+            attempts = self.transactions(tid)
+            commits = sum(1 for a in attempts if a["outcome"] == "commit")
+            aborts = sum(1 for a in attempts if a["outcome"] == "abort")
+            stalls = sum(a["stalls"] for a in attempts)
+            durations = [a["end"] - a["start"] for a in attempts
+                         if a["end"] is not None]
+            mean_dur = sum(durations) / len(durations) if durations else 0.0
+            rows.append((tid, len(attempts), commits, aborts, stalls,
+                         mean_dur))
+        return render_table(
+            ["Thread", "Attempts", "Commits", "Aborts", "Stalls",
+             "Mean cycles"],
+            rows, title="Per-thread transaction summary")
+
+
+class TraceRecorder(RingBufferLog):
+    """Standalone recorder: a ring-buffer log with its own clock.
+
+    This is the legacy ``repro.harness.trace.TraceRecorder`` surface
+    (attachable directly to ``StatsRegistry.recorder``), now implemented on
+    the obs layer. New code should prefer ``System.attach_bus()`` — a bus
+    fans out to any number of sinks and carries the full cross-layer
+    taxonomy; a recorder is one fixed ring buffer.
+    """
+
+    def __init__(self, clock: Callable[[], int], max_events: int = 100_000,
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        super().__init__(max_events=max_events, kinds=kinds)
+        self._clock = clock
+
+    def record(self, kind: str, **fields: Any) -> None:
+        self.append(Event(self._clock(), kind, fields))

@@ -1,0 +1,197 @@
+"""Exporters: JSONL event dumps and Chrome Trace Event JSON.
+
+Two on-disk formats:
+
+* **JSONL** — one :meth:`Event.to_dict` per line. Lossless, streamable,
+  trivially greppable; :func:`load_jsonl` round-trips it back into events
+  for the analyzers.
+* **Chrome Trace Event format** — a ``{"traceEvents": [...]}`` document
+  that opens directly in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``. Outer transaction attempts become complete ("X")
+  slices on each thread's track, colored by outcome; everything else
+  becomes instant ("i") marks. Timestamps are virtual cycles reported in
+  the microsecond field — a cycle reads as 1us in the UI, which only
+  rescales the axis label.
+
+Both are wired into the harness: ``run_workload(..., trace=True)`` returns
+the events on the result, ``run_sweep(..., trace_dir=...)`` writes one
+trace pair per variant, and ``python -m repro trace`` does it from a shell.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.analysis import reconstruct
+from repro.obs.events import NAMESPACES, Event, event_from_dict
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def export_jsonl(events: Iterable[Event], path: str) -> int:
+    """Write events one-JSON-object-per-line; returns the event count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str) -> List[Event]:
+    """Inverse of :func:`export_jsonl` (blank lines are skipped)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+class JsonlWriter:
+    """Streaming bus subscriber: writes each event as it is published.
+
+    For runs too long to buffer in a ring. Use as a context manager or call
+    :meth:`close` when done::
+
+        with JsonlWriter("run.jsonl") as sink:
+            bus.subscribe(sink)
+            ... run ...
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self.written = 0
+
+    def __call__(self, event: Event) -> None:
+        if self._fh is None:
+            raise ValueError(f"JsonlWriter({self.path!r}) is closed")
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._fh.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Chrome Trace Event format
+# ---------------------------------------------------------------------------
+
+#: Track (tid) offsets for events that carry no ``thread`` field: one lane
+#: per namespace, placed well above any plausible thread id.
+_NAMESPACE_LANE_BASE = 1000
+_NAMESPACE_LANES: Dict[str, int] = {
+    ns: _NAMESPACE_LANE_BASE + i for i, ns in enumerate(NAMESPACES)}
+
+#: Perfetto color names keyed by attempt outcome.
+_OUTCOME_COLOR = {"commit": "good", "abort": "terrible",
+                  "open": "grey"}
+
+
+def chrome_trace(events: Iterable[Event],
+                 label: str = "repro") -> Dict[str, Any]:
+    """Build a Chrome Trace Event document from an event stream.
+
+    The stream is consumed twice conceptually (lifecycle reconstruction and
+    instant marks), so it is materialized first; pass a list for free.
+    """
+    events = list(events)
+    trace: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": 0, "name": "process_name",
+         "args": {"name": label}},
+    ]
+    named_lanes = set()
+
+    def lane_for(event: Event) -> int:
+        thread = event.fields.get("thread")
+        if thread is not None:
+            tid = int(thread)
+            name = f"thread {tid}"
+        else:
+            tid = _NAMESPACE_LANES.get(event.namespace,
+                                       _NAMESPACE_LANE_BASE + len(NAMESPACES))
+            name = event.namespace
+        if tid not in named_lanes:
+            named_lanes.add(tid)
+            trace.append({"ph": "M", "pid": 0, "tid": tid,
+                          "name": "thread_name", "args": {"name": name}})
+        return tid
+
+    # One "X" (complete) slice per outer transaction attempt.
+    last_time = events[-1].time if events else 0
+    for attempt in reconstruct(events):
+        end = attempt.end if attempt.end is not None else last_time
+        args: Dict[str, Any] = {"outcome": attempt.outcome,
+                                "stalls": attempt.stalls,
+                                "conflicts": attempt.conflicts}
+        if attempt.category:
+            args["category"] = attempt.category
+        tid = int(attempt.thread)
+        if tid not in named_lanes:
+            named_lanes.add(tid)
+            trace.append({"ph": "M", "pid": 0, "tid": tid,
+                          "name": "thread_name",
+                          "args": {"name": f"thread {tid}"}})
+        trace.append({"ph": "X", "pid": 0, "tid": tid, "ts": attempt.start,
+                      "dur": max(end - attempt.start, 1), "name": "tx",
+                      "cname": _OUTCOME_COLOR.get(attempt.outcome, "grey"),
+                      "args": args})
+
+    # Everything except begin/commit (already represented by the slices)
+    # becomes an instant mark on its lane.
+    for event in events:
+        if event.kind in ("tm.begin", "tm.commit"):
+            continue
+        trace.append({"ph": "i", "pid": 0, "tid": lane_for(event),
+                      "ts": event.time, "s": "t", "name": event.kind,
+                      "args": dict(event.fields)})
+    return {"traceEvents": trace, "displayTimeUnit": "ms",
+            "otherData": {"label": label, "events": len(events)}}
+
+
+def export_chrome_trace(events: Iterable[Event], path: str,
+                        label: str = "repro") -> int:
+    """Write :func:`chrome_trace` output to ``path``; returns the number of
+    trace entries (metadata included)."""
+    document = chrome_trace(events, label=label)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh)
+    return len(document["traceEvents"])
+
+
+def validate_chrome_trace(source: Union[str, Dict[str, Any]]) -> int:
+    """Sanity-check a Chrome trace document (path or parsed dict).
+
+    Verifies the document shape Perfetto requires — a ``traceEvents`` list
+    whose entries carry a ``ph`` — and returns the entry count. Used by the
+    CI trace-smoke step.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    else:
+        document = source
+    trace = document.get("traceEvents")
+    if not isinstance(trace, list):
+        raise ValueError("not a Chrome trace: missing traceEvents list")
+    for entry in trace:
+        if not isinstance(entry, dict) or "ph" not in entry:
+            raise ValueError(f"malformed trace entry: {entry!r}")
+        if entry["ph"] in ("X", "i") and "ts" not in entry:
+            raise ValueError(f"timed entry without ts: {entry!r}")
+    return len(trace)

@@ -1,0 +1,191 @@
+"""Metrics registry: counters, gauges, histograms, and cycle timers.
+
+:class:`repro.common.stats.StatsRegistry` is the model-side collection
+point — simple named counters/histograms updated on the hot path. This
+module is the *analysis-side* registry: it adds gauges (last-value
+metrics), cycle timers (interval accounting against the virtual clock) and
+a uniform snapshot, and can ingest a ``StatsRegistry`` so harness code has
+one object to query. A :class:`MetricsRegistry` is also a bus subscriber:
+attached to an :class:`repro.obs.bus.EventBus` it counts events per kind
+(``events.tm.commit`` …), which the overhead notes in
+``docs/observability.md`` rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.stats import Counter, Histogram, StatsRegistry
+from repro.obs.events import Event
+
+
+class Gauge:
+    """A last-value metric (outstanding messages, live log bytes...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float = 1) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class CycleTimer:
+    """Accumulates virtual-cycle intervals (stall time, log-walk time).
+
+    ``start()``/``stop()`` bracket one interval against the registry clock;
+    overlapping intervals (several threads stalled at once) are supported by
+    keying on an arbitrary token (usually the thread id).
+    """
+
+    __slots__ = ("name", "_clock", "_open", "total", "intervals")
+
+    def __init__(self, name: str, clock: Callable[[], int]) -> None:
+        self.name = name
+        self._clock = clock
+        self._open: Dict[object, int] = {}
+        self.total = 0
+        self.intervals = 0
+
+    def start(self, token: object = None) -> None:
+        self._open[token] = self._clock()
+
+    def stop(self, token: object = None) -> int:
+        """Close the interval for ``token``; returns its length in cycles."""
+        begin = self._open.pop(token, None)
+        if begin is None:
+            return 0
+        elapsed = self._clock() - begin
+        self.total += elapsed
+        self.intervals += 1
+        return elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.intervals if self.intervals else 0.0
+
+    def reset(self) -> None:
+        self._open.clear()
+        self.total = 0
+        self.intervals = 0
+
+    def __repr__(self) -> str:
+        return (f"CycleTimer({self.name}: total={self.total}, "
+                f"n={self.intervals})")
+
+
+class MetricsRegistry:
+    """Counters + gauges + histograms + timers behind one namespace.
+
+    Reuses the model-layer :class:`Counter`/:class:`Histogram` types so a
+    snapshot mixes ingested model stats and analysis-side metrics without
+    translation. Callable, so it can subscribe to a bus directly::
+
+        metrics = MetricsRegistry(clock=lambda: system.sim.now)
+        bus.subscribe(metrics)            # counts events per kind
+        metrics.ingest_stats(system.stats)  # fold in model counters
+    """
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None) -> None:
+        self._clock = clock if clock is not None else (lambda: 0)
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, CycleTimer] = {}
+
+    # -- metric accessors (create on first use, like StatsRegistry) -------
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def timer(self, name: str) -> CycleTimer:
+        if name not in self._timers:
+            self._timers[name] = CycleTimer(name, self._clock)
+        return self._timers[name]
+
+    # -- bus subscription --------------------------------------------------
+
+    def __call__(self, event: Event) -> None:
+        """Bus subscriber: count every event under ``events.<kind>``."""
+        self.counter(f"events.{event.kind}").add()
+
+    # -- StatsRegistry bridge ---------------------------------------------
+
+    def ingest_stats(self, stats: StatsRegistry) -> None:
+        """Fold a model ``StatsRegistry``'s current values into this one.
+
+        Counter values *accumulate* (so repeated ingestion across phases
+        sums); histograms are merged sample-by-sample.
+        """
+        for name, value in stats.snapshot().items():
+            self.counter(name).add(value)
+        for name, hist in stats.histograms().items():
+            mine = self.histogram(name)
+            for sample, count in hist.items():
+                for _ in range(count):
+                    mine.record(sample)
+
+    @classmethod
+    def from_stats(cls, stats: StatsRegistry,
+                   clock: Optional[Callable[[], int]] = None
+                   ) -> "MetricsRegistry":
+        registry = cls(clock=clock)
+        registry.ingest_stats(stats)
+        return registry
+
+    # -- queries -----------------------------------------------------------
+
+    def value(self, name: str) -> float:
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        return 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of counters, gauges, and timer totals."""
+        out: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, t in self._timers.items():
+            out[f"{name}.cycles"] = t.total
+            out[f"{name}.intervals"] = t.intervals
+        return dict(sorted(out.items()))
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for g in self._gauges.values():
+            g.reset()
+        for h in self._histograms.values():
+            h.reset()
+        for t in self._timers.values():
+            t.reset()

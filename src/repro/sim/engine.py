@@ -60,6 +60,8 @@ class Process:
             yielded = self.gen.send(send_value)
         except StopIteration as stop:
             self._alive = False
+            if self.sim.tracer is not None:
+                self.sim.tracer.record("sim.process_done", process=self.name)
             self.done.resolve(stop.value)
             return
         if isinstance(yielded, int):
@@ -91,6 +93,10 @@ class Simulator:
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._processes: List[Process] = []
         self.events_executed = 0
+        #: Optional observability sink with a ``record(kind, **fields)``
+        #: method (an :class:`repro.obs.bus.EventBus` or recorder). The
+        #: kernel reports process spawn/finish on it; None means untraced.
+        self.tracer = None
 
     def schedule(self, delay: int, action: Callable[[], None]) -> None:
         """Run ``action`` after ``delay`` cycles (FIFO among equal times)."""
@@ -103,6 +109,8 @@ class Simulator:
         """Register a generator as a process; it starts at the current time."""
         proc = Process(self, gen, name)
         self._processes.append(proc)
+        if self.tracer is not None:
+            self.tracer.record("sim.spawn", process=name)
         self.schedule(0, lambda: proc._step(None))
         return proc
 
