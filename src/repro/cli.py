@@ -12,8 +12,10 @@ a script::
     python -m repro table4
     python -m repro run BerkeleyDB --threads 16 --units 2 --signature bs \\
         --bits 2048
+    python -m repro run SharedCounter --threads 8 --verify
     python -m repro sweep Mp3d --mode sizes --sizes 64 2048 --jobs 4
     python -m repro trace SharedCounter --threads 4 --out counter.trace.json
+    python -m repro lint
 
 The global ``--json`` flag switches every command from rendered tables to
 structured JSON records (``RunResult``/``SweepResult`` serializations or
@@ -152,7 +154,7 @@ def _cmd_run(args) -> int:
         seed=args.seed)
     # run_workload labels the run itself ("locks" for the lock baseline,
     # the signature name otherwise), so output is uniform across modes.
-    result = run_workload(cfg, workload, seed=args.seed)
+    result = run_workload(cfg, workload, seed=args.seed, verify=args.verify)
     if args.json:
         return _emit_json(result.to_dict())
     print(f"workload   : {workload.describe()}")
@@ -163,6 +165,39 @@ def _cmd_run(args) -> int:
     print(f"aborts     : {result.aborts}")
     print(f"stalls     : {result.stalls}")
     print(f"fp conflict: {result.false_positive_pct:.1f}%")
+    if args.verify:
+        report = result.verify_report
+        if report is not None and report.disabled_reason:
+            print(f"verify     : disabled ({report.disabled_reason})")
+        else:
+            print(f"verify     : {len(result.verify_checks_run)} checker(s), "
+                  f"{len(result.verify_violations)} violation(s)")
+        for violation in result.verify_violations:
+            print(f"  [{violation['rule']}] {violation['message']}")
+        if result.verify_violations:
+            return 1
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.verify.lint import lint_paths, render_findings
+
+    paths = args.paths
+    if not paths:
+        # Default target: the bundled workload definitions, wherever the
+        # package is installed.
+        import repro.workloads
+        paths = [str(__import__("pathlib").Path(
+            repro.workloads.__file__).parent)]
+    findings = lint_paths(paths)
+    if args.json:
+        _emit_json([dataclasses.asdict(f) for f in findings])
+        return 1 if findings else 0
+    if findings:
+        print(render_findings(findings))
+        print(f"{len(findings)} finding(s) in {len(paths)} path(s)")
+        return 1
+    print(f"clean: no findings in {', '.join(paths)}")
     return 0
 
 
@@ -329,7 +364,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=2048)
     p.add_argument("--locks", action="store_true",
                    help="run the lock baseline instead of transactions")
+    p.add_argument("--verify", action="store_true",
+                   help="attach the correctness checkers (signature "
+                        "oracle, undo-log oracle, isolation shadow, "
+                        "serializability); exit 1 on any violation")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis of workload definitions (rules VR001-VR003)")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: the "
+                        "bundled repro.workloads package)")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
         "sweep",

@@ -270,7 +270,8 @@ class DirectoryFabric(CoherenceFabric):
                                         is_write, entry)
         if self.stats.recorder is not None:
             self.stats.emit("coh.grant", block=block_addr,
-                            core=requester_core, state=grant_state.name)
+                            core=requester_core, thread=requester_thread,
+                            write=is_write, state=grant_state.name)
         return CoherenceResult(granted=True, grant_state=grant_state)
 
     def _broadcast_check(self, requester_core: int, requester_thread: int,
@@ -322,13 +323,21 @@ class DirectoryFabric(CoherenceFabric):
         atomically with each target's signature check in ``_check``.
         """
         if entry.sticky:
-            # The request succeeded, so the sticky forwarding obligation is
+            # The request succeeded, so sticky forwarding obligations are
             # discharged ("a block leaves this state when the request
-            # finally succeeds").
-            self._c_sticky_clean.add(len(entry.sticky))
-            self.stats.emit("coh.sticky_clean", block=block_addr,
-                            cores=tuple(sorted(entry.sticky)))
-            entry.sticky.clear()
+            # finally succeeds") — but only for cores whose signatures no
+            # longer cover the block. A core whose *read* set still holds
+            # it did not NACK this (compatible) read, yet must keep being
+            # checked: a later write has to reach it.
+            cleaned = {cid for cid in entry.sticky
+                       if cid == requester_core
+                       or not self._ports[cid].holds_transactional(
+                           block_addr)}
+            if cleaned:
+                self._c_sticky_clean.add(len(cleaned))
+                self.stats.emit("coh.sticky_clean", block=block_addr,
+                                cores=tuple(sorted(cleaned)))
+                entry.sticky -= cleaned
         entry.must_check_all = False
         if is_write:
             entry.sharers.clear()
@@ -338,7 +347,10 @@ class DirectoryFabric(CoherenceFabric):
         if entry.owner is not None and entry.owner != requester_core:
             entry.sharers.add(entry.owner)
             entry.owner = None
-        if not entry.sharers:
+        if not entry.sharers and not entry.sticky:
+            # E needs true exclusivity: a surviving sticky core may hold
+            # the block in its read set, and a silent E->M upgrade here
+            # would write without that signature ever being checked.
             entry.owner = requester_core
             return MESI.EXCLUSIVE
         entry.sharers.add(requester_core)
@@ -347,6 +359,21 @@ class DirectoryFabric(CoherenceFabric):
     def note_relocated_block(self, block_addr: int) -> None:
         """Force signature checks for a block relocated by paging."""
         self._entry(block_addr).must_check_all = True
+
+    def scrub_block(self, block_addr: int) -> None:
+        """Frame freed or reallocated: drop every cached copy and every
+        directory pointer. A core whose signatures still cover the block
+        keeps a sticky forwarding obligation — the same rule as a
+        transactional L1 eviction — so conflict checks keep reaching it
+        even though it no longer caches the line."""
+        entry = self._entry(block_addr)
+        for port in self.ports:
+            port.invalidate_block(block_addr)
+            if self._use_sticky and port.holds_transactional(block_addr):
+                entry.sticky.add(port.core_id)
+        self.l2.invalidate(block_addr)
+        entry.owner = None
+        entry.sharers.clear()
 
     # ------------------------------------------------------------------
     # L1 replacement notifications

@@ -56,6 +56,21 @@ class CoherenceFabric(abc.ABC):
         already reaches every signature — so the default is a no-op.
         """
 
+    def scrub_block(self, block_addr: int) -> None:
+        """OS hook: the physical frame holding this block is being freed or
+        reallocated (page relocation, Section 4.2).
+
+        Any cached copy is a leftover of the frame's *previous* tenancy.
+        A stale MODIFIED line is the dangerous case: when the frame is
+        reused, the holding core hits locally and reads or writes the new
+        tenant's data with no coherence request — and therefore no
+        signature check — silently breaking isolation. Drops the block
+        from every L1; fabrics with directory state also forget their
+        pointers for it.
+        """
+        for port in self.ports:
+            port.invalidate_block(block_addr)
+
     @abc.abstractmethod
     def l1_evicted(self, core_id: int, block_addr: int, state: MESI,
                    transactional: bool) -> None:

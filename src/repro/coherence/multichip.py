@@ -169,6 +169,18 @@ class MultiChipFabric(CoherenceFabric):
                 port.downgrade_block(block_addr)
         return blockers
 
+    def _chip_covers(self, chip: int, block_addr: int,
+                     exclude: int) -> bool:
+        """May any core on this chip still hold the block in a signature?"""
+        first = chip * self.cfg.num_cores
+        for core_id in range(first, first + self.cfg.num_cores):
+            if core_id == exclude:
+                continue
+            port = self._ports.get(core_id)
+            if port is not None and port.holds_transactional(block_addr):
+                return True
+        return False
+
     def _chip_check(self, chip: int, requester_core: int,
                     requester_thread: int, block_addr: int, is_write: bool,
                     asid: int, requester_ts: Optional[Timestamp]
@@ -207,6 +219,10 @@ class MultiChipFabric(CoherenceFabric):
                         requester_ts: Optional[Timestamp], block_addr: int,
                         is_write: bool, asid: int, mem_entry: MemDirEntry):
         self._c_requests.add()
+        if self.stats.recorder is not None:
+            self.stats.emit("coh.request", block=block_addr,
+                            core=requester_core, thread=requester_thread,
+                            write=is_write)
         chip = self.chip_of(requester_core)
         net = self.networks[chip]
         bank = self.amap.bank_of(block_addr)
@@ -247,6 +263,12 @@ class MultiChipFabric(CoherenceFabric):
                                      asid, requester_ts, owner=entry.owner)
         if blockers:
             self._c_nacks.add()
+            if self.stats.recorder is not None:
+                self.stats.emit(
+                    "coh.nack", block=block_addr, core=requester_core,
+                    thread=requester_thread,
+                    blockers=tuple((b.thread_id, b.false_positive, b.via)
+                                   for b in blockers))
             yield net.bank_to_core(bank, self._local_core(requester_core),
                                    "NACK")
             return CoherenceResult(granted=False, blockers=blockers)
@@ -263,6 +285,10 @@ class MultiChipFabric(CoherenceFabric):
                                "DATA")
         grant = self._apply_chip_grant(chip, requester_core, block_addr,
                                        is_write, entry)
+        if self.stats.recorder is not None:
+            self.stats.emit("coh.grant", block=block_addr,
+                            core=requester_core, thread=requester_thread,
+                            write=is_write, state=grant.name)
         return CoherenceResult(granted=True, grant_state=grant)
 
     def _inter_chip(self, chip: int, requester_core: int,
@@ -306,6 +332,12 @@ class MultiChipFabric(CoherenceFabric):
 
         if blockers:
             self._c_nacks.add()
+            if self.stats.recorder is not None:
+                self.stats.emit(
+                    "coh.nack", block=block_addr, core=requester_core,
+                    thread=requester_thread,
+                    blockers=tuple((b.thread_id, b.false_positive, b.via)
+                                   for b in blockers))
             yield self.cfg.interchip_latency
             return CoherenceResult(granted=False, blockers=blockers)
 
@@ -333,8 +365,15 @@ class MultiChipFabric(CoherenceFabric):
                 mem_entry.owner_chip = chip
                 entry.rights = "M"
         if mem_entry.sticky_chips:
-            self._c_sticky_clean.add(len(mem_entry.sticky_chips))
-            mem_entry.sticky_chips.clear()
+            # Discharge sticky chips only when no core there still covers
+            # the block with a signature (a read-set entry is compatible
+            # with this request but must keep being checked on writes).
+            cleaned = {c for c in mem_entry.sticky_chips
+                       if not self._chip_covers(c, block_addr,
+                                                exclude=requester_core)}
+            if cleaned:
+                self._c_sticky_clean.add(len(cleaned))
+                mem_entry.sticky_chips -= cleaned
 
         self._c_mem.add()
         yield self.cfg.memory_latency  # data from memory / remote L2
@@ -342,6 +381,10 @@ class MultiChipFabric(CoherenceFabric):
         self._l2_fill(chip, block_addr)
         grant = self._apply_chip_grant(chip, requester_core, block_addr,
                                        is_write, entry)
+        if self.stats.recorder is not None:
+            self.stats.emit("coh.grant", block=block_addr,
+                            core=requester_core, thread=requester_thread,
+                            write=is_write, state=grant.name)
         return CoherenceResult(granted=True, grant_state=grant)
 
     # ------------------------------------------------------------------
@@ -354,8 +397,15 @@ class MultiChipFabric(CoherenceFabric):
         """Bookkeeping only — port invalidations/downgrades happened
         atomically with the signature checks in ``_check_cores``."""
         if entry.sticky:
-            self._c_sticky_clean.add(len(entry.sticky))
-            entry.sticky.clear()
+            # Only discharge cores whose signatures no longer cover the
+            # block; a surviving read-set entry must keep being checked.
+            cleaned = {cid for cid in entry.sticky
+                       if cid == requester_core
+                       or not self._ports[cid].holds_transactional(
+                           block_addr)}
+            if cleaned:
+                self._c_sticky_clean.add(len(cleaned))
+                entry.sticky -= cleaned
         if is_write:
             entry.sharers.clear()
             entry.owner = requester_core
@@ -363,7 +413,7 @@ class MultiChipFabric(CoherenceFabric):
         if entry.owner is not None and entry.owner != requester_core:
             entry.sharers.add(entry.owner)
             entry.owner = None
-        if not entry.sharers and entry.rights == "M":
+        if not entry.sharers and not entry.sticky and entry.rights == "M":
             # An E grant needs *chip-level* exclusivity: with only S
             # rights another chip may hold copies, and a silent E->M
             # upgrade here would write without global permission.
@@ -430,6 +480,54 @@ class MultiChipFabric(CoherenceFabric):
             if self._use_sticky:
                 mem_entry.sticky_chips.add(chip)
                 self._c_chip_sticky.add()
+
+    # ------------------------------------------------------------------
+    # Paging hooks
+    # ------------------------------------------------------------------
+
+    def note_relocated_block(self, block_addr: int) -> None:
+        """Force signature checks everywhere for a relocated block.
+
+        Neither the memory directory nor any chip directory has pointers
+        for the fresh frame, so without help the first request would be
+        granted unchecked. Marking every chip sticky at the memory level
+        (and every core sticky at the chip level) routes the next request
+        through full conflict checks; the stickies clean up on the first
+        grant, exactly like victimization stickies.
+        """
+        self._mem_entry(block_addr).sticky_chips.update(
+            range(self.cfg.num_chips))
+        for chip in range(self.cfg.num_chips):
+            first = chip * self.cfg.num_cores
+            self._chip_entry(chip, block_addr).sticky.update(
+                range(first, first + self.cfg.num_cores))
+
+    def scrub_block(self, block_addr: int) -> None:
+        """Frame freed or reallocated: drop copies and pointers everywhere.
+
+        Cores whose signatures still cover the block keep per-chip sticky
+        obligations (and their chips stay sticky at the memory directory),
+        mirroring the transactional-eviction rule, so conflict checks
+        still reach them.
+        """
+        mem = self._mem_entry(block_addr)
+        mem.owner_chip = None
+        mem.sharer_chips.clear()
+        for chip in range(self.cfg.num_chips):
+            entry = self._chip_entry(chip, block_addr)
+            entry.rights = None
+            entry.owner = None
+            entry.sharers.clear()
+            first = chip * self.cfg.num_cores
+            for core_id in range(first, first + self.cfg.num_cores):
+                port = self._ports.get(core_id)
+                if port is None:
+                    continue
+                port.invalidate_block(block_addr)
+                if self._use_sticky and port.holds_transactional(block_addr):
+                    entry.sticky.add(core_id)
+                    mem.sticky_chips.add(chip)
+            self.l2s[chip].invalidate(block_addr)
 
     # ------------------------------------------------------------------
     # L1 replacement notifications

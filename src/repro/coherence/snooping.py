@@ -134,7 +134,9 @@ class SnoopingFabric(CoherenceFabric):
                                             is_write)
             if self.stats.recorder is not None:
                 self.stats.emit("coh.grant", block=block_addr,
-                                core=requester_core, state=grant_state.name)
+                                core=requester_core,
+                                thread=requester_thread,
+                                write=is_write, state=grant_state.name)
             return CoherenceResult(granted=True, grant_state=grant_state)
         finally:
             block_lock.release()
@@ -152,11 +154,24 @@ class SnoopingFabric(CoherenceFabric):
         if owner is not None and owner != requester_core:
             sharers.add(owner)
             self._owner[block_addr] = None
-        if not sharers:
+        if not sharers and not any(
+                port.holds_transactional(block_addr)
+                for port in self.ports
+                if port.core_id != requester_core):
+            # E needs more than residency exclusivity: a non-resident
+            # core may still hold the block in its read signature (e.g.
+            # after a page-relocation scrub), and a silent E->M upgrade
+            # would write without any snoop reaching that signature.
             self._owner[block_addr] = requester_core
             return MESI.EXCLUSIVE
         sharers.add(requester_core)
         return MESI.SHARED
+
+    def scrub_block(self, block_addr: int) -> None:
+        super().scrub_block(block_addr)
+        self.l2.invalidate(block_addr)
+        self._owner.pop(block_addr, None)
+        self._sharers.pop(block_addr, None)
 
     def l1_evicted(self, core_id: int, block_addr: int, state: MESI,
                    transactional: bool) -> None:

@@ -27,6 +27,24 @@ class ProtocolError(ReproError):
     """The coherence protocol reached an illegal state transition."""
 
 
+class InvariantViolation(ReproError, AssertionError):
+    """A whole-system state audit (``coherence.invariants``) failed.
+
+    Historically this subclassed only ``AssertionError``, which meant the
+    intent could be silently weakened by association with ``assert``
+    statements (stripped under ``python -O``). It is now a
+    :class:`ReproError` first; ``AssertionError`` is kept as a secondary
+    base for one release so existing ``except AssertionError`` handlers
+    and pytest idioms keep working, and will be dropped afterwards.
+    """
+
+
+class VerificationError(ReproError):
+    """A dynamic correctness checker (:mod:`repro.verify`) found a
+    violation and the caller asked for strict behaviour (raise instead of
+    report)."""
+
+
 class TransactionError(ReproError):
     """A transactional-memory invariant was violated."""
 

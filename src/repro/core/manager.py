@@ -429,17 +429,34 @@ class TMManager:
         sets cover both and no isolation is lost.
         """
         self._c_page_moves.add()
+        asid = page_table.asid
+        fabric = self.cores[0].fabric
+        relocated_blocks = set()
+
+        # Charge the per-context interrupt cost *before* anything moves.
+        # The old translation is still live during these yields, so every
+        # in-flight access keeps hitting the old frame, where conflict
+        # detection still works. Publishing the new mapping first and
+        # rewriting signatures slot-by-slot afterwards opens a window in
+        # which a thread can touch the new frame while another
+        # transaction's signature only covers the old one — a real
+        # (verified) isolation hole.
+        for core in self.cores:
+            for slot in core.slots:
+                thread = slot.thread
+                if thread is None or thread.asid != asid:
+                    continue
+                yield self.cfg.tm.summary_interrupt_cycles
+
+        # From here to the summary refresh nothing yields: the copy, the
+        # translation switch, the TLB shootdown and every signature
+        # rewrite land in one simulation event.
         reloc = page_table.relocate(vaddr, self.memory)
         self.stats.emit("os.page_move", vpage=reloc.vpage,
                         old_frame=reloc.old_frame,
                         new_frame=reloc.new_frame)
-        # TLB shootdown: every core drops the stale translation (the
-        # per-context interrupt cost is charged in the rewrite loop below).
         for core in self.cores:
-            core.tlb.invalidate(page_table.asid, reloc.vpage)
-        asid = page_table.asid
-        fabric = self.cores[0].fabric
-        relocated_blocks = set()
+            core.tlb.invalidate(asid, reloc.vpage)
 
         def rehome(pair: ReadWriteSignature) -> bool:
             touched = False
@@ -456,7 +473,7 @@ class TMManager:
                     touched = True
             return touched
 
-        # Active threads: interrupt each and rewrite in place.
+        # Active threads: rewrite in place (cost was charged above).
         for core in self.cores:
             for slot in core.slots:
                 thread = slot.thread
@@ -464,7 +481,6 @@ class TMManager:
                     continue
                 if thread.ctx.in_tx and rehome(thread.ctx.signature):
                     self._c_sig_rehomes.add()
-                yield self.cfg.tm.summary_interrupt_cycles
 
         # Descheduled transactions: rewrite their saved snapshots (the
         # paper queues a signal; we apply it eagerly) and refresh summaries.
@@ -475,14 +491,25 @@ class TMManager:
             if rehome(scratch):
                 self._c_sig_rehomes.add()
                 self._store_saved(asid, tid, scratch.snapshot())
-        if saved:
-            yield from self._push_summaries(asid)
+        # Scrub both frames from every cache: copies of the old frame are
+        # orphaned by the move, and the new frame may still have stale
+        # lines from a previous tenancy. A leftover MODIFIED line would
+        # let its core hit locally later — no coherence request, no
+        # signature check — so scrubbing is a correctness requirement,
+        # not hygiene. Runs *after* the signature rewrites so the fabric
+        # sees the rehomed sets and leaves sticky obligations for cores
+        # whose signatures cover the blocks at their new addresses.
+        for off in range(0, self.cfg.page_bytes, self.cfg.block_bytes):
+            fabric.scrub_block(reloc.old_frame + off)
+            fabric.scrub_block(reloc.new_frame + off)
 
         # The fresh frame has no directory pointers, so without help the
         # protocol would grant requests to it unchecked; force signature
         # checks on every block a signature now covers at its new address.
         for block in relocated_blocks:
             fabric.note_relocated_block(block)
-
         reloc.release_old_frame()
+
+        if saved:
+            yield from self._push_summaries(asid)
         return reloc

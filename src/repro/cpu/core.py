@@ -184,7 +184,9 @@ class Core(ConflictPort):
                 yield self.cfg.l1.latency
                 return ctx.write_buffer[word]
         yield from self._access(slot, vaddr, is_write=False)
-        return self.memory.load(slot.thread.translate(vaddr))
+        value = self.memory.load(slot.thread.translate(vaddr))
+        self._note_access(slot, vaddr, is_write=False, value=value)
+        return value
 
     def store(self, slot: HardwareSlot, vaddr: int, value: int):
         """Store a word.
@@ -204,6 +206,7 @@ class Core(ConflictPort):
             return
         yield from self._access(slot, vaddr, is_write=True)
         self.memory.store(slot.thread.translate(vaddr), value)
+        self._note_access(slot, vaddr, is_write=True, value=value)
 
     def fetch_add(self, slot: HardwareSlot, vaddr: int, delta: int):
         """Atomic read-modify-write; returns the old value."""
@@ -216,7 +219,9 @@ class Core(ConflictPort):
         yield from self._access(slot, vaddr, is_write=True)
         paddr = slot.thread.translate(vaddr)
         old = self.memory.load(paddr)
+        self._note_access(slot, vaddr, is_write=False, value=old)
         self.memory.store(paddr, old + delta)
+        self._note_access(slot, vaddr, is_write=True, value=old + delta)
         return old
 
     def swap(self, slot: HardwareSlot, vaddr: int, value: int):
@@ -230,7 +235,9 @@ class Core(ConflictPort):
         yield from self._access(slot, vaddr, is_write=True)
         paddr = slot.thread.translate(vaddr)
         old = self.memory.load(paddr)
+        self._note_access(slot, vaddr, is_write=False, value=old)
         self.memory.store(paddr, value)
+        self._note_access(slot, vaddr, is_write=True, value=value)
         return old
 
     def _access(self, slot: HardwareSlot, vaddr: int, is_write: bool):
@@ -310,6 +317,18 @@ class Core(ConflictPort):
             if resident is not None and (
                     resident.state.can_write if is_write
                     else resident.state.can_read):
+                # Insert into the signature *before* modeling the L1 access
+                # latency: the insert is part of issuing the access, so a
+                # conflicting request arriving during the latency window is
+                # NACKed. (Deferring it opened a window where two
+                # same-cycle accesses — SMT siblings, or a remote grant in
+                # flight — both passed their signature checks and then both
+                # proceeded, breaking isolation on the block.)
+                if ctx.transactional:
+                    if is_write:
+                        ctx.signature.insert_write(block)
+                    else:
+                        ctx.signature.insert_read(block)
                 yield self.cfg.l1.latency
                 if is_write and resident.state is MESI.EXCLUSIVE:
                     resident.state = MESI.MODIFIED  # silent E->M upgrade
@@ -349,6 +368,25 @@ class Core(ConflictPort):
                     self._c_log_filtered.add()
             else:
                 ctx.signature.insert_read(block)
+
+    def _note_access(self, slot: HardwareSlot, vaddr: int, is_write: bool,
+                     value: int) -> None:
+        """Emit a ``tm.access`` event for one completed memory reference.
+
+        Called immediately after the functional load/store with no yields
+        in between, so the value and the event order exactly mirror the
+        memory image — the ground truth the verification checkers
+        (:mod:`repro.verify`) replay. Zero cost without a recorder.
+        """
+        if self.stats.recorder is None:
+            return
+        thread = slot.thread
+        ctx = thread.ctx
+        self.stats.emit(
+            "tm.access", thread=thread.tid, vaddr=vaddr,
+            block=self.amap.block_of(thread.translate(vaddr)),
+            write=is_write, value=value, tx=ctx.transactional,
+            in_tx=ctx.in_tx, asid=thread.asid)
 
     def _install(self, block_addr: int, state: MESI, is_write: bool) -> None:
         """Fill the L1 after a grant; notify the fabric about the victim."""

@@ -123,9 +123,11 @@ class ResultCache:
         self.misses = 0
 
     def key(self, cfg: SystemConfig, fingerprint: str, seed: int,
-            label: str, cycle_limit: int = DEFAULT_CYCLE_LIMIT) -> str:
+            label: str, cycle_limit: int = DEFAULT_CYCLE_LIMIT,
+            verify: object = False) -> str:
         payload = "\n".join([code_version(), repr(cfg), fingerprint,
-                             str(seed), label, str(cycle_limit)])
+                             str(seed), label, str(cycle_limit),
+                             f"verify={verify!r}"])
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path:
@@ -179,6 +181,8 @@ class RunTask:
     seed: int = DEFAULT_SEED
     cycle_limit: int = DEFAULT_CYCLE_LIMIT
     trace_dir: Optional[str] = None
+    #: ``run_workload``'s ``verify`` argument (False / True / "strict").
+    verify: object = False
 
 
 def _artifact_stem(key: str) -> str:
@@ -201,7 +205,12 @@ def _run_task(task: RunTask) -> RunResult:
     result = run_workload(task.cfg, task.make_workload(), seed=task.seed,
                           cycle_limit=task.cycle_limit,
                           config_label=task.label,
-                          trace=task.trace_dir is not None)
+                          trace=task.trace_dir is not None,
+                          verify=task.verify)
+    # The report object holds live references into the simulated system;
+    # the JSON-safe fields (checks_run, violations) already carry the
+    # findings, so drop it before pickling into a pipe or the cache.
+    result.verify_report = None
     if task.trace_dir is not None and result.events is not None:
         from repro.obs.export import export_chrome_trace, export_jsonl
         out = Path(task.trace_dir)
@@ -276,7 +285,8 @@ def execute_tasks(tasks: Iterable[RunTask],
         if cache is not None:
             cache_key = cache.key(task.cfg,
                                   workload_fingerprint(task.make_workload()),
-                                  task.seed, task.label, task.cycle_limit)
+                                  task.seed, task.label, task.cycle_limit,
+                                  verify=task.verify)
             result = cache.load(cache_key)
             if result is not None:
                 outcomes[task.key] = TaskOutcome(task.key, result,
@@ -405,7 +415,8 @@ def run_parallel_sweep(variants, workload_factory,
                        cache: Optional[ResultCache] = None,
                        timeout: Optional[float] = None,
                        retries: int = 1,
-                       trace_dir: Optional[str] = None):
+                       trace_dir: Optional[str] = None,
+                       verify: object = False):
     """Parallel/cached engine behind ``run_sweep(..., jobs=N)``.
 
     Produces a ``SweepResult`` equal to the serial one (results are stored
@@ -431,7 +442,7 @@ def run_parallel_sweep(variants, workload_factory,
 
     tasks = [RunTask(key=label, label=label, cfg=cfg,
                      make_workload=workload_factory, seed=seed,
-                     trace_dir=trace_dir)
+                     trace_dir=trace_dir, verify=verify)
              for label, cfg in variants]
     started = time.perf_counter()
     outcomes = execute_tasks(tasks, jobs=jobs, timeout=timeout,

@@ -46,6 +46,14 @@ class RunResult:
     #: :mod:`repro.obs.export` to persist them.
     events: Optional[List[Event]] = field(default=None, compare=False,
                                           repr=False)
+    #: Checkers that ran when ``verify`` was requested (empty otherwise,
+    #: or when the config disables verification — e.g. lazy mode).
+    verify_checks_run: List[str] = field(default_factory=list)
+    #: JSON-safe records of every violation the checkers found.
+    verify_violations: List[Dict] = field(default_factory=list)
+    #: The full report object (not serialized, not compared).
+    verify_report: Optional[object] = field(default=None, compare=False,
+                                            repr=False)
 
     @property
     def commits(self) -> int:
@@ -106,6 +114,8 @@ class RunResult:
             "counters": dict(self.counters),
             "histograms": {name: hist.to_dict()
                            for name, hist in sorted(self.histograms.items())},
+            "verify_checks_run": list(self.verify_checks_run),
+            "verify_violations": [dict(v) for v in self.verify_violations],
         }
 
     @staticmethod
@@ -120,6 +130,10 @@ class RunResult:
                       for k, v in dict(data["counters"]).items()},
             histograms={str(name): Histogram.from_dict(h)
                         for name, h in dict(data["histograms"]).items()},
+            verify_checks_run=[str(c) for c in
+                               data.get("verify_checks_run", [])],
+            verify_violations=[dict(v) for v in
+                               data.get("verify_violations", [])],
         )
 
 
@@ -140,7 +154,8 @@ def run_workload(cfg: SystemConfig, workload: Workload,
                  keep_system: bool = False,
                  trace: bool = False,
                  trace_max_events: int = 1_000_000,
-                 trace_kinds: Optional[List[str]] = None) -> RunResult:
+                 trace_kinds: Optional[List[str]] = None,
+                 verify=False) -> RunResult:
     """Execute one workload to completion on a freshly built system.
 
     ``start_skew`` staggers thread start times uniformly over that many
@@ -153,12 +168,28 @@ def run_workload(cfg: SystemConfig, workload: Workload,
     restricts what is kept — exact kinds or whole namespaces like
     ``"tm"``). Tracing slows simulation; leave it off for measurement
     sweeps unless artifacts are wanted.
+
+    ``verify`` attaches the correctness checkers of
+    :mod:`repro.verify.checkers` (signature oracle, undo-log oracle,
+    isolation shadow, serializability) and records their findings on
+    ``RunResult.verify_checks_run`` / ``verify_violations``. Pass
+    ``"strict"`` to raise :class:`repro.common.errors.VerificationError`
+    on any violation instead of merely reporting it. Verification slows
+    the run (it attaches the event bus); it never changes simulated
+    cycle counts.
     """
     system = System(cfg, seed=seed)
     trace_log = None
+    suite = None
+    bus = None
     if trace:
-        _bus, trace_log = system.attach_bus(max_events=trace_max_events,
-                                            kinds=trace_kinds)
+        bus, trace_log = system.attach_bus(max_events=trace_max_events,
+                                           kinds=trace_kinds)
+    if verify:
+        from repro.verify.checkers import VerificationSuite
+        if bus is None:
+            bus, _ = system.attach_bus(with_log=False)
+        suite = VerificationSuite(system).attach(bus)
     threads = system.place_threads(workload.num_threads)
     procs = []
     executors: List[ThreadExecutor] = []
@@ -180,6 +211,10 @@ def run_workload(cfg: SystemConfig, workload: Workload,
                                       name=f"{workload.name}.t{index}"))
     system.sim.run_until_done(procs, limit=cycle_limit)
     units = sum(e.units_done for e in executors)
+    report = suite.finish() if suite is not None else None
+    if report is not None and verify == "strict" and not report.ok:
+        from repro.common.errors import VerificationError
+        raise VerificationError(report.summary())
     return RunResult(
         workload=workload.name,
         config_label=config_label or default_config_label(cfg),
@@ -189,6 +224,10 @@ def run_workload(cfg: SystemConfig, workload: Workload,
         histograms=system.stats.histograms(),
         system=system if keep_system else None,
         events=trace_log.events() if trace_log is not None else None,
+        verify_checks_run=list(report.checks_run) if report else [],
+        verify_violations=[v.to_dict() for v in report.violations]
+        if report else [],
+        verify_report=report,
     )
 
 

@@ -101,7 +101,8 @@ def run_sweep(variants: Iterable[Variant],
               cache=None,
               timeout: Optional[float] = None,
               retries: int = 1,
-              trace_dir: Optional[str] = None) -> SweepResult:
+              trace_dir: Optional[str] = None,
+              verify: object = False) -> SweepResult:
     """Run the factory's workload under every variant configuration.
 
     ``jobs=1`` with no cache/timeout is the exact serial implementation.
@@ -113,6 +114,10 @@ def run_sweep(variants: Iterable[Variant],
     ``trace_dir`` writes per-variant observability artifacts (Chrome trace
     JSON + JSONL) into that directory; it routes through the parallel
     engine and disables the cache (cached hits produce no artifacts).
+    ``verify`` attaches the correctness checkers to every cell (see
+    :func:`repro.harness.runner.run_workload`); findings land on each
+    cell's ``RunResult.verify_violations`` and are part of the cached
+    record (the cache key includes the verify mode).
     """
     if (jobs != 1 or cache is not None or timeout is not None
             or trace_dir is not None):
@@ -120,13 +125,15 @@ def run_sweep(variants: Iterable[Variant],
         return run_parallel_sweep(variants, workload_factory, seed=seed,
                                   baseline_label=baseline_label, jobs=jobs,
                                   cache=cache, timeout=timeout,
-                                  retries=retries, trace_dir=trace_dir)
+                                  retries=retries, trace_dir=trace_dir,
+                                  verify=verify)
     sweep = SweepResult(baseline_label=baseline_label)
     for label, cfg in variants:
         if label in sweep.results:
             raise ValueError(f"duplicate variant label {label!r}")
         sweep.results[label] = run_workload(
-            cfg, workload_factory(), seed=seed, config_label=label)
+            cfg, workload_factory(), seed=seed, config_label=label,
+            verify=verify)
     if baseline_label is not None and baseline_label not in sweep.results:
         raise ValueError(f"baseline {baseline_label!r} not in sweep")
     return sweep

@@ -71,6 +71,10 @@ class System:
                                  self.stats, pair_factory=self._make_pair)
         self._page_tables: Dict[int, PageTable] = {}
         self._next_tid = 0
+        #: Every software thread ever created, keyed by tid — the lookup
+        #: the verification checkers use to resolve event ``thread`` fields
+        #: back to contexts and translations.
+        self.threads: Dict[int, SoftwareThread] = {}
 
     def _make_pair(self) -> ReadWriteSignature:
         return make_rw_pair(self.cfg.tm.signature, self.cfg.block_bytes)
@@ -99,7 +103,9 @@ class System:
             asid=asid,
             block_bytes=self.cfg.block_bytes,
             log_filter_entries=self.cfg.tm.log_filter_entries)
-        return SoftwareThread(tid, self.page_table(asid), ctx)
+        thread = SoftwareThread(tid, self.page_table(asid), ctx)
+        self.threads[tid] = thread
+        return thread
 
     def all_slots(self) -> List[HardwareSlot]:
         return [slot for core in self.cores for slot in core.slots]
@@ -141,7 +147,7 @@ class System:
         return recorder
 
     def attach_bus(self, max_events: int = 100_000, kinds=None,
-                   strict: bool = False):
+                   strict: bool = False, with_log: bool = True):
         """Attach an :class:`repro.obs.bus.EventBus` plus a ring-buffer log.
 
         Every component's ``stats.emit(...)`` (and the sim kernel's
@@ -150,11 +156,16 @@ class System:
         subscribers (metrics, streaming exporters) and a bounded buffer of
         what happened. ``kinds`` filters what the *log* keeps (exact kinds
         or whole namespaces); the bus itself sees everything.
+        ``with_log=False`` attaches the bare bus and returns ``(bus,
+        None)`` — for subscribers (e.g. the verification checkers) that
+        consume events without buffering them.
         """
         from repro.obs.bus import EventBus, RingBufferLog
         bus = EventBus(clock=lambda: self.sim.now, strict=strict)
-        log = RingBufferLog(max_events=max_events, kinds=kinds)
-        bus.subscribe(log)
+        log = None
+        if with_log:
+            log = RingBufferLog(max_events=max_events, kinds=kinds)
+            bus.subscribe(log)
         self.stats.recorder = bus
         self.sim.tracer = bus
         return bus, log

@@ -71,6 +71,9 @@ TAXONOMY: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     # -- transaction lifecycle ---------------------------------------------
     "tm.begin": ("transaction (or nest level) began",
                  ("thread", "depth", "open")),
+    "tm.access": ("one memory reference completed (eager path)",
+                  ("thread", "vaddr", "block", "write", "value", "tx",
+                   "in_tx", "asid")),
     "tm.commit": ("innermost transaction committed",
                   ("thread", "outer")),
     "tm.abort": ("abort handler ran",
@@ -84,7 +87,7 @@ TAXONOMY: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "coh.request": ("coherence request reached the fabric",
                     ("block", "core", "thread", "write")),
     "coh.grant": ("request granted; L1 may install",
-                  ("block", "core", "state")),
+                  ("block", "core", "thread", "write", "state")),
     "coh.nack": ("request NACKed by one or more signatures",
                  ("block", "core", "thread", "blockers")),
     "coh.broadcast": ("lost-info broadcast rebuild (directory only)",

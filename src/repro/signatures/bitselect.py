@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, TransactionError
 from repro.signatures.base import Signature
 
 
@@ -55,7 +55,11 @@ class BitSelectSignature(Signature):
         self._mask = int(state)
 
     def _union_filter(self, other: Signature) -> None:
-        assert isinstance(other, BitSelectSignature)
+        if not isinstance(other, BitSelectSignature):
+            # Explicit raise (not ``assert``): this guards a hot
+            # correctness path and must survive ``python -O``.
+            raise TransactionError(
+                f"cannot union {type(other).__name__} into BitSelectSignature")
         if other.bits != self.bits:
             raise ConfigError(
                 f"cannot union {other.bits}-bit into {self.bits}-bit signature")

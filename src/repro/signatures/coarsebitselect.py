@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, TransactionError
 from repro.signatures.base import Signature
 
 
@@ -56,7 +56,11 @@ class CoarseBitSelectSignature(Signature):
         self._mask = int(state)
 
     def _union_filter(self, other: Signature) -> None:
-        assert isinstance(other, CoarseBitSelectSignature)
+        if not isinstance(other, CoarseBitSelectSignature):
+            # Explicit raise (not ``assert``): this guards a hot
+            # correctness path and must survive ``python -O``.
+            raise TransactionError(
+                f"cannot union {type(other).__name__} into CoarseBitSelectSignature")
         if (other.bits != self.bits
                 or other.macroblock_bytes != self.macroblock_bytes):
             raise ConfigError("cannot union CBS signatures with different "

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, TransactionError
 from repro.signatures.base import Signature
 
 
@@ -67,7 +67,11 @@ class DoubleBitSelectSignature(Signature):
         self._lo, self._hi = state
 
     def _union_filter(self, other: Signature) -> None:
-        assert isinstance(other, DoubleBitSelectSignature)
+        if not isinstance(other, DoubleBitSelectSignature):
+            # Explicit raise (not ``assert``): this guards a hot
+            # correctness path and must survive ``python -O``.
+            raise TransactionError(
+                f"cannot union {type(other).__name__} into DoubleBitSelectSignature")
         if other.bits != self.bits:
             raise ConfigError(
                 f"cannot union {other.bits}-bit into {self.bits}-bit signature")

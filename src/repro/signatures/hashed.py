@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, List, Tuple
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, TransactionError
 from repro.common.rng import make_rng
 from repro.signatures.base import Signature
 
@@ -96,7 +96,11 @@ class HashedSignature(Signature):
         self._mask = int(state)
 
     def _union_filter(self, other: Signature) -> None:
-        assert isinstance(other, HashedSignature)
+        if not isinstance(other, HashedSignature):
+            # Explicit raise (not ``assert``): this guards a hot
+            # correctness path and must survive ``python -O``.
+            raise TransactionError(
+                f"cannot union {type(other).__name__} into HashedSignature")
         if (other.bits, other.hashes, other.seed) != (
                 self.bits, self.hashes, self.seed):
             raise ConfigError(

@@ -1,0 +1,30 @@
+"""Correctness-analysis suite: dynamic checkers and static workload lint.
+
+Two halves, one import:
+
+* :mod:`repro.verify.checkers` — the :class:`VerificationSuite`, an
+  event-bus subscriber that shadows a run against the paper's
+  correctness contract (signature false negatives, undo-log
+  restoration, isolation, conflict serializability). Enable per run
+  with ``run_workload(..., verify=True)`` or ``repro run --verify``.
+* :mod:`repro.verify.lint` — AST-based static analysis of workload
+  definitions (``repro lint``), rules ``VR001``-``VR003``.
+
+:mod:`repro.verify.faults` provides seeded faults (a bit-dropping
+signature wrapper) so tests can prove the checkers actually convict.
+
+See ``docs/verification.md`` for the checker catalog, rule ids,
+suppression syntax, and cost model.
+"""
+
+from repro.common.errors import VerificationError
+from repro.verify.checkers import (VerificationReport, VerificationSuite,
+                                   Violation)
+from repro.verify.lint import (RULES, LintFinding, lint_file, lint_paths,
+                               lint_source, render_findings)
+
+__all__ = [
+    "VerificationError", "VerificationReport", "VerificationSuite",
+    "Violation", "RULES", "LintFinding", "lint_file", "lint_paths",
+    "lint_source", "render_findings",
+]

@@ -1,0 +1,670 @@
+"""Dynamic correctness checkers for LogTM-SE runs.
+
+The simulator's own assertions are *local* (one component notices its own
+inconsistency). The :class:`VerificationSuite` is a *global* oracle: it
+subscribes to the observability bus (:mod:`repro.obs.bus`) and shadows the
+whole machine against the correctness contract of the paper —
+
+* **Signature oracle** (``SIG-FALSE-NEGATIVE``): signatures may report
+  false positives but never false negatives (Section 2). Every granted
+  coherence request is replayed against the *exact* shadow sets of every
+  other scheduled thread; a grant that a ground-truth signature should
+  have NACKed is the smoking gun of a filter that dropped a bit.
+
+* **Undo-log oracle** (``UNDO-RESTORE``): eager version management means
+  an abort must restore memory byte-for-byte from the per-frame undo
+  records, in LIFO order (Section 3.2). The suite captures its own copy
+  of every logged block's pre-image at ``log.append`` time and compares
+  memory word-for-word after each ``log.unroll``.
+
+* **Isolation / shadow memory** (``TM-DIRTY-READ``, ``TM-LOST-UPDATE``,
+  ``TM-SHADOW-MISMATCH``): a shadow copy of committed state plus an
+  in-flight-writer map detect, at the data level, any access that
+  observes or overwrites another transaction's uncommitted values.
+
+* **Serializability** (``SER-CYCLE``): the committed transactions'
+  conflict graph (W->R, R->W, W->W edges per virtual block) must be
+  acyclic. A cycle is reported with a human-readable witness naming the
+  transactions and the addresses on each edge.
+
+The suite is *passive*: it never raises mid-simulation (a checker
+exploding inside the event bus would corrupt the run it is judging).
+Violations accumulate in a :class:`VerificationReport`; strict callers
+(``run_workload(verify="strict")``) raise
+:class:`repro.common.errors.VerificationError` on a non-OK report.
+
+Deliberately out of scope (documented, not bugs):
+
+* Lazy (Bulk-style) mode has no execution-time isolation — dirty reads
+  before a squash are its design, so the suite disables itself.
+* The ``use_sticky_states=False`` ablation deliberately loses isolation
+  for victimized blocks (Section 8); the suite disables itself.
+* Conflicts against *descheduled* transactions travel through summary
+  signatures; the grant-time oracle only replays scheduled threads'
+  exact sets. Data-level breaks still surface via the shadow checkers.
+* SMT siblings on the requester's own core are excluded from the grant
+  oracle: the core legitimately re-checks siblings after install, so a
+  grant is not yet a promise about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.mem.physical import WORD_BYTES
+from repro.obs.events import Event
+
+#: (asid, word-aligned virtual address) — the unit of data tracking.
+#: Virtual, not physical: paging reuses physical frames, so a physical
+#: key would alias unrelated data across time (Section 4.2).
+WordKey = Tuple[int, int]
+
+
+@dataclass
+class Violation:
+    """One confirmed correctness violation."""
+
+    checker: str                 #: which checker fired (e.g. "undo-oracle")
+    rule: str                    #: stable rule id (e.g. "UNDO-RESTORE")
+    time: int                    #: virtual cycle of detection
+    message: str                 #: human-readable witness
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"checker": self.checker, "rule": self.rule,
+                "time": self.time, "message": self.message,
+                "details": dict(self.details)}
+
+    def __str__(self) -> str:
+        return f"[{self.time}] {self.rule}: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verified run: what ran, what it found, what it cost."""
+
+    checks_run: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    disabled_reason: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"checks_run": list(self.checks_run),
+                "violations": [v.to_dict() for v in self.violations],
+                "stats": dict(self.stats),
+                "disabled_reason": self.disabled_reason,
+                "ok": self.ok}
+
+    def summary(self) -> str:
+        if self.disabled_reason is not None:
+            return f"verification disabled: {self.disabled_reason}"
+        head = (f"verification: {len(self.checks_run)} checkers, "
+                f"{len(self.violations)} violation(s)")
+        if self.ok:
+            return head
+        lines = [head]
+        lines.extend(f"  {v}" for v in self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append(f"  ... and {len(self.violations) - 20} more")
+        return "\n".join(lines)
+
+
+class _ShadowFrame:
+    """Shadow of one TxContext nesting level (mirrors one log frame)."""
+
+    __slots__ = ("is_open", "accesses", "writes", "preimages")
+
+    def __init__(self, is_open: bool = False) -> None:
+        self.is_open = is_open
+        #: (time, vblock, is_write) in program order — serializability raw
+        #: material; discarded wholesale if the frame aborts.
+        self.accesses: List[Tuple[int, int, bool]] = []
+        #: WordKey -> last value written by this frame (and, after a
+        #: closed-nest merge, its committed children).
+        self.writes: Dict[WordKey, int] = {}
+        #: vblock -> {vaddr: value}: our own copy of the undo pre-image,
+        #: captured at the *first* ``log.append`` of each block in this
+        #: frame (LIFO unroll makes the first record's values final).
+        self.preimages: Dict[int, Dict[int, int]] = {}
+
+
+class VerificationSuite:
+    """All dynamic checkers behind one event-bus subscriber.
+
+    Attach with :meth:`attach` (or ``bus.subscribe(suite, kinds=
+    suite.KINDS)``), run the simulation, then call :meth:`finish` for the
+    :class:`VerificationReport`. Construction is cheap and attachment is
+    zero-cost for non-verified runs — the bus itself only exists when
+    observability is on.
+    """
+
+    #: Event kinds the suite consumes; everything else never reaches it.
+    KINDS = ("tm.access", "tm.begin", "tm.commit", "tm.abort",
+             "log.append", "log.unroll", "coh.grant")
+
+    CHECKERS = ("signature-oracle", "undo-oracle", "isolation-shadow",
+                "serializability")
+
+    #: Reports beyond this many are counted but not stored (a systemic
+    #: failure would otherwise bury its first, most diagnostic witness).
+    MAX_VIOLATIONS = 200
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.block_bytes = system.cfg.block_bytes
+        self._use_asid_filter = system.cfg.tm.use_asid_filter
+        self.disabled_reason: Optional[str] = None
+        if system.cfg.tm.lazy:
+            self.disabled_reason = (
+                "lazy (Bulk-style) mode has no execution-time isolation; "
+                "dirty reads before a squash are by design")
+        elif not system.cfg.tm.use_sticky_states:
+            self.disabled_reason = (
+                "sticky-state ablation deliberately loses isolation for "
+                "victimized blocks (Section 8)")
+        self.enabled = self.disabled_reason is None
+        self.violations: List[Violation] = []
+        self.dropped_violations = 0
+        #: tid -> shadow frame stack (one frame per nest level).
+        self._frames: Dict[int, List[_ShadowFrame]] = {}
+        #: WordKey -> tid of the transaction with an uncommitted write.
+        self._inflight: Dict[WordKey, int] = {}
+        #: WordKey -> last committed value the suite has observed.
+        self._shadow: Dict[WordKey, int] = {}
+        #: Words whose committed value the suite can no longer vouch for
+        #: (escape-action writes; open-nest commits under a writing
+        #: parent). Value checks are skipped, isolation checks are not.
+        self._untracked: Set[WordKey] = set()
+        #: (asid, vblock) -> [(time, txid, is_write)] committed history.
+        self._history: Dict[Tuple[int, int],
+                            List[Tuple[int, str, bool]]] = {}
+        self._commit_seq: Dict[int, int] = {}
+        self._counts: Dict[str, int] = {
+            "events": 0, "accesses": 0, "grants": 0,
+            "frames_verified": 0, "words_verified": 0,
+            "txns_committed": 0,
+        }
+        self._finished = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, bus) -> "VerificationSuite":
+        bus.subscribe(self, kinds=self.KINDS)
+        return self
+
+    def __call__(self, event: Event) -> None:
+        if not self.enabled:
+            return
+        self._counts["events"] += 1
+        kind = event.kind
+        if kind == "tm.access":
+            self._on_access(event)
+        elif kind == "coh.grant":
+            self._on_grant(event)
+        elif kind == "log.append":
+            self._on_append(event)
+        elif kind == "log.unroll":
+            self._on_unroll(event)
+        elif kind == "tm.begin":
+            self._on_begin(event)
+        elif kind == "tm.commit":
+            self._on_commit(event)
+        elif kind == "tm.abort":
+            self._on_abort(event)
+
+    def _report(self, checker: str, rule: str, time: int, message: str,
+                **details: Any) -> None:
+        if len(self.violations) >= self.MAX_VIOLATIONS:
+            self.dropped_violations += 1
+            return
+        self.violations.append(
+            Violation(checker=checker, rule=rule, time=time,
+                      message=message, details=details))
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _word(vaddr: int) -> int:
+        return vaddr & ~(WORD_BYTES - 1)
+
+    def _vblock(self, vaddr: int) -> int:
+        return vaddr & ~(self.block_bytes - 1)
+
+    def _expected_value(self, tid: Optional[int],
+                        key: WordKey) -> Optional[int]:
+        """The value a clean read of ``key`` should return, or None when
+        the suite has no basis for a check."""
+        if tid is not None:
+            for frame in reversed(self._frames.get(tid) or ()):
+                if key in frame.writes:
+                    return frame.writes[key]
+        if key in self._untracked:
+            return None
+        return self._shadow.get(key)
+
+    # -- signature oracle --------------------------------------------------
+
+    def _on_grant(self, event: Event) -> None:
+        f = event.fields
+        block = f.get("block")
+        core = f.get("core")
+        tid = f.get("thread")
+        is_write = f.get("write")
+        if block is None or tid is None or is_write is None:
+            return  # legacy emission without attribution fields
+        self._counts["grants"] += 1
+        requester = self.system.threads.get(tid)
+        req_asid = requester.asid if requester is not None else None
+        for other in self.system.threads.values():
+            if other.tid == tid or not other.scheduled:
+                continue
+            if other.slot.core.core_id == core:
+                continue  # SMT siblings: re-checked locally post-install
+            if (self._use_asid_filter and req_asid is not None
+                    and other.asid != req_asid):
+                continue  # the fabric's ASID filter makes this legal
+            sig = other.ctx.signature
+            if is_write:
+                hit = (sig.read.contains_exact(block)
+                       or sig.write.contains_exact(block))
+            else:
+                hit = sig.write.contains_exact(block)
+            if hit:
+                kind = "write" if is_write else "read"
+                self._report(
+                    "signature-oracle", "SIG-FALSE-NEGATIVE", event.time,
+                    f"{kind} of block {block:#x} by thread {tid} "
+                    f"(core {core}) was granted although thread "
+                    f"{other.tid}'s exact "
+                    f"{'read/write' if is_write else 'write'} set contains "
+                    f"it — the filter produced a false negative",
+                    block=block, requester=tid, holder=other.tid,
+                    write=is_write)
+
+    # -- transaction lifecycle --------------------------------------------
+
+    def _on_begin(self, event: Event) -> None:
+        f = event.fields
+        tid = f["thread"]
+        depth = f.get("depth", 1)
+        stack = self._frames.setdefault(tid, [])
+        if len(stack) != depth - 1:
+            self._report(
+                "isolation-shadow", "TM-FRAME-MISMATCH", event.time,
+                f"thread {tid} began nest level {depth} but the shadow "
+                f"stack holds {len(stack)} frame(s)",
+                thread=tid, depth=depth, shadow_depth=len(stack))
+            del stack[max(depth - 1, 0):]
+            while len(stack) < depth - 1:
+                stack.append(_ShadowFrame())
+        stack.append(_ShadowFrame(is_open=bool(f.get("open"))))
+
+    def _on_append(self, event: Event) -> None:
+        f = event.fields
+        tid = f["thread"]
+        vblock = f["vblock"]
+        stack = self._frames.get(tid)
+        if not stack:
+            self._report(
+                "undo-oracle", "TM-FRAME-MISMATCH", event.time,
+                f"thread {tid} appended an undo record with no shadow "
+                f"frame open", thread=tid, vblock=vblock)
+            return
+        frame = stack[-1]
+        if vblock in frame.preimages:
+            # Log-filter eviction re-logged the block; LIFO restore makes
+            # the first record's values final, so keep the first image.
+            return
+        thread = self.system.threads.get(tid)
+        if thread is None:
+            return
+        # ``log.append`` is emitted before the triggering store: memory
+        # still holds the old values, so this capture is exact.
+        image: Dict[int, int] = {}
+        for off in range(0, self.block_bytes, WORD_BYTES):
+            vaddr = vblock + off
+            image[vaddr] = self.system.memory.load(thread.translate(vaddr))
+        frame.preimages[vblock] = image
+
+    def _on_unroll(self, event: Event) -> None:
+        f = event.fields
+        tid = f["thread"]
+        stack = self._frames.get(tid)
+        if not stack:
+            self._report(
+                "undo-oracle", "TM-FRAME-MISMATCH", event.time,
+                f"thread {tid} unrolled a log frame with no shadow frame "
+                f"open", thread=tid)
+            return
+        frame = stack.pop()
+        thread = self.system.threads.get(tid)
+        if thread is not None:
+            # ``log.unroll`` is emitted synchronously after the restoring
+            # stores (no intervening yield): comparing memory here is
+            # race-free even with other threads running.
+            for vblock, image in frame.preimages.items():
+                for vaddr, expected in image.items():
+                    actual = self.system.memory.load(
+                        thread.translate(vaddr))
+                    self._counts["words_verified"] += 1
+                    if actual != expected:
+                        self._report(
+                            "undo-oracle", "UNDO-RESTORE", event.time,
+                            f"abort of thread {tid} left {vaddr:#x} "
+                            f"(block {vblock:#x}) = {actual}, undo log "
+                            f"should have restored {expected}",
+                            thread=tid, vaddr=vaddr, vblock=vblock,
+                            expected=expected, actual=actual)
+        self._counts["frames_verified"] += 1
+        self._release_inflight(tid, frame, stack)
+        # The frame's accesses die with it: aborted work never enters the
+        # serializability history.
+
+    def _release_inflight(self, tid: int, frame: _ShadowFrame,
+                          remaining: List[_ShadowFrame]) -> None:
+        for key in frame.writes:
+            if self._inflight.get(key) != tid:
+                continue
+            if any(key in f.writes for f in remaining):
+                continue  # an enclosing frame still owns the word
+            del self._inflight[key]
+
+    def _on_commit(self, event: Event) -> None:
+        f = event.fields
+        tid = f["thread"]
+        outer = bool(f.get("outer"))
+        stack = self._frames.get(tid)
+        if not stack:
+            self._report(
+                "isolation-shadow", "TM-FRAME-MISMATCH", event.time,
+                f"thread {tid} committed with no shadow frame open",
+                thread=tid)
+            return
+        frame = stack.pop()
+        if outer and stack:
+            self._report(
+                "isolation-shadow", "TM-FRAME-MISMATCH", event.time,
+                f"thread {tid} outer-committed with {len(stack)} shadow "
+                f"frame(s) still open", thread=tid)
+            stack.clear()
+        if not outer and not frame.is_open:
+            # Closed-nest commit: the child folds into its parent exactly
+            # like :meth:`UndoLog.merge_into_parent` folds log records.
+            parent = stack[-1]
+            parent.accesses.extend(frame.accesses)
+            parent.writes.update(frame.writes)
+            for vblock, image in frame.preimages.items():
+                parent.preimages.setdefault(vblock, image)
+            return
+        # Outer commit, or an open-nest child committing globally.
+        self._flush_committed(tid, frame, stack, event.time)
+
+    def _flush_committed(self, tid: int, frame: _ShadowFrame,
+                         enclosing: List[_ShadowFrame], time: int) -> None:
+        thread = self.system.threads.get(tid)
+        asid = thread.asid if thread is not None else 0
+        parent_blocks: Set[int] = set()
+        for outer_frame in enclosing:
+            parent_blocks.update(outer_frame.preimages)
+        # Lost-update check: from the first log append of a block until
+        # this commit, isolation pins every word of it — so the pre-image
+        # must still match the last committed value the suite observed.
+        for vblock, image in frame.preimages.items():
+            if vblock in parent_blocks:
+                # Open-nest commit under a parent that wrote the same
+                # block: the pre-image is the parent's *uncommitted*
+                # value, and a later parent abort will clobber this
+                # child's committed data (the documented open-nesting
+                # hazard). Stop vouching for these words.
+                for vaddr in image:
+                    self._untracked.add((asid, self._word(vaddr)))
+                continue
+            for vaddr, value in image.items():
+                key = (asid, self._word(vaddr))
+                if key in self._untracked:
+                    continue
+                known = self._shadow.get(key)
+                if known is None:
+                    # First sighting: the pre-image establishes the
+                    # committed baseline (e.g. values set up before the
+                    # bus was attached).
+                    self._shadow[key] = value
+                elif known != value:
+                    self._report(
+                        "isolation-shadow", "TM-LOST-UPDATE", time,
+                        f"thread {tid} logged {vaddr:#x} = {value} but "
+                        f"the last committed value was {known} — a "
+                        f"committed update was lost or bypassed "
+                        f"isolation", thread=tid, vaddr=vaddr,
+                        logged=value, committed=known)
+        for key, value in frame.writes.items():
+            if key not in self._untracked:
+                self._shadow[key] = value
+        self._release_inflight(tid, frame, enclosing)
+        self._record_committed(tid, asid, frame, time)
+
+    def _record_committed(self, tid: int, asid: int, frame: _ShadowFrame,
+                          time: int) -> None:
+        if not frame.accesses:
+            return
+        seq = self._commit_seq.get(tid, 0)
+        self._commit_seq[tid] = seq + 1
+        txid = f"T{tid}#{seq}"
+        self._counts["txns_committed"] += 1
+        first: Dict[Tuple[int, bool], int] = {}
+        for when, vblock, is_write in frame.accesses:
+            first.setdefault((vblock, is_write), when)
+        for (vblock, is_write), when in first.items():
+            self._history.setdefault((asid, vblock), []).append(
+                (when, txid, is_write))
+
+    def _on_abort(self, event: Event) -> None:
+        f = event.fields
+        tid = f["thread"]
+        if not (f.get("outer", True) and f.get("full", True)):
+            return
+        # ``tm.abort`` follows the per-frame ``log.unroll`` events, so a
+        # completed outer abort must have drained the shadow stack.
+        stack = self._frames.get(tid)
+        if stack:
+            self._report(
+                "isolation-shadow", "TM-FRAME-MISMATCH", event.time,
+                f"thread {tid} finished an outer abort with "
+                f"{len(stack)} shadow frame(s) left", thread=tid)
+            while stack:
+                self._release_inflight(tid, stack.pop(), stack)
+
+    # -- data-level isolation ---------------------------------------------
+
+    def _on_access(self, event: Event) -> None:
+        f = event.fields
+        tid = f["thread"]
+        vaddr = f["vaddr"]
+        is_write = f["write"]
+        value = f["value"]
+        asid = f.get("asid", 0)
+        key = (asid, self._word(vaddr))
+        self._counts["accesses"] += 1
+        if f.get("tx"):
+            self._tx_access(tid, key, vaddr, is_write, value, event.time)
+        elif f.get("in_tx"):
+            # Escape action: bypasses isolation and logging by design
+            # [Moravan et al.]; its writes are immediately global and are
+            # never undone, so they move the committed baseline directly.
+            if is_write:
+                self._shadow[key] = value
+                self._untracked.add(key)
+        else:
+            self._plain_access(tid, key, vaddr, is_write, value,
+                               event.time)
+
+    def _tx_access(self, tid: int, key: WordKey, vaddr: int,
+                   is_write: bool, value: int, time: int) -> None:
+        stack = self._frames.get(tid)
+        if not stack:
+            self._report(
+                "isolation-shadow", "TM-FRAME-MISMATCH", time,
+                f"thread {tid} made a transactional access with no shadow "
+                f"frame open", thread=tid, vaddr=vaddr)
+            return
+        frame = stack[-1]
+        frame.accesses.append((time, self._vblock(vaddr), is_write))
+        owner = self._inflight.get(key)
+        if is_write:
+            if owner is not None and owner != tid:
+                self._report(
+                    "isolation-shadow", "TM-LOST-UPDATE", time,
+                    f"thread {tid} wrote {vaddr:#x} = {value} while "
+                    f"thread {owner}'s uncommitted write to the same word "
+                    f"is in flight", thread=tid, other=owner, vaddr=vaddr)
+            self._inflight[key] = tid
+            frame.writes[key] = value
+            return
+        if owner is not None and owner != tid:
+            self._report(
+                "isolation-shadow", "TM-DIRTY-READ", time,
+                f"thread {tid} read {vaddr:#x} = {value} while thread "
+                f"{owner}'s uncommitted write to the same word is in "
+                f"flight", thread=tid, other=owner, vaddr=vaddr,
+                value=value)
+            return
+        expected = self._expected_value(tid, key)
+        if expected is not None and expected != value:
+            self._report(
+                "isolation-shadow", "TM-SHADOW-MISMATCH", time,
+                f"thread {tid} read {vaddr:#x} = {value} but the last "
+                f"committed value is {expected}", thread=tid, vaddr=vaddr,
+                value=value, expected=expected)
+
+    def _plain_access(self, tid: int, key: WordKey, vaddr: int,
+                      is_write: bool, value: int, time: int) -> None:
+        owner = self._inflight.get(key)
+        if is_write:
+            if owner is not None:
+                self._report(
+                    "isolation-shadow", "TM-LOST-UPDATE", time,
+                    f"non-transactional write of {vaddr:#x} = {value} by "
+                    f"thread {tid} while thread {owner}'s uncommitted "
+                    f"write is in flight (strong atomicity breach)",
+                    thread=tid, other=owner, vaddr=vaddr)
+            self._shadow[key] = value
+            return
+        if owner is not None:
+            self._report(
+                "isolation-shadow", "TM-DIRTY-READ", time,
+                f"non-transactional read of {vaddr:#x} = {value} by "
+                f"thread {tid} saw thread {owner}'s uncommitted write "
+                f"(strong atomicity breach)", thread=tid, other=owner,
+                vaddr=vaddr, value=value)
+            return
+        expected = self._expected_value(None, key)
+        if expected is not None and expected != value:
+            self._report(
+                "isolation-shadow", "TM-SHADOW-MISMATCH", time,
+                f"non-transactional read of {vaddr:#x} by thread {tid} "
+                f"returned {value}, last committed value is {expected}",
+                thread=tid, vaddr=vaddr, value=value, expected=expected)
+
+    # -- serializability ----------------------------------------------------
+
+    def _check_serializability(self) -> None:
+        # Conflict-graph edges at virtual-block granularity. Correct eager
+        # runs follow strict 2PL (NACKs hold conflicting requests off
+        # until commit), so even block-granularity (false-sharing) edges
+        # are acyclic; a cycle means isolation actually broke.
+        edges: Dict[Tuple[str, str], Tuple[int, str]] = {}
+        adj: Dict[str, List[str]] = {}
+
+        def add_edge(src: str, dst: str, vblock: int, kind: str) -> None:
+            if src == dst or (src, dst) in edges:
+                return
+            edges[(src, dst)] = (vblock, kind)
+            adj.setdefault(src, []).append(dst)
+            adj.setdefault(dst, [])
+
+        for (asid, vblock), entries in self._history.items():
+            entries.sort()
+            last_writer: Optional[str] = None
+            readers: List[str] = []
+            for _when, txid, is_write in entries:
+                if is_write:
+                    if last_writer is not None:
+                        add_edge(last_writer, txid, vblock, "W->W")
+                    for reader in readers:
+                        add_edge(reader, txid, vblock, "R->W")
+                    last_writer = txid
+                    readers = []
+                else:
+                    if last_writer is not None:
+                        add_edge(last_writer, txid, vblock, "W->R")
+                    readers.append(txid)
+        cycle = self._find_cycle(adj)
+        if cycle is None:
+            return
+        hops = []
+        for src, dst in zip(cycle, cycle[1:]):
+            vblock, kind = edges[(src, dst)]
+            hops.append(f"{src} -[{kind} {vblock:#x}]-> {dst}")
+        self._report(
+            "serializability", "SER-CYCLE", 0,
+            "committed transactions are not conflict-serializable: "
+            + "; ".join(hops),
+            cycle=cycle)
+
+    @staticmethod
+    def _find_cycle(adj: Dict[str, List[str]]) -> Optional[List[str]]:
+        """First cycle in ``adj`` as [n0, n1, ..., n0], else None."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in adj}
+        for root in adj:
+            if color[root] != WHITE:
+                continue
+            path: List[str] = []
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, idx = work.pop()
+                if idx == 0:
+                    color[node] = GRAY
+                    path.append(node)
+                out = adj.get(node, [])
+                advanced = False
+                for i in range(idx, len(out)):
+                    nxt = out[i]
+                    if color[nxt] == GRAY:
+                        start = path.index(nxt)
+                        return path[start:] + [nxt]
+                    if color[nxt] == WHITE:
+                        work.append((node, i + 1))
+                        work.append((nxt, 0))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    path.pop()
+        return None
+
+    # -- reporting ----------------------------------------------------------
+
+    def finish(self) -> VerificationReport:
+        """Run end-of-run analyses and build the report (idempotent)."""
+        if not self._finished:
+            self._finished = True
+            if self.enabled:
+                self._check_serializability()
+        return self.report()
+
+    def report(self) -> VerificationReport:
+        stats = dict(self._counts)
+        stats["locations_tracked"] = len(self._history)
+        if self.dropped_violations:
+            stats["violations_dropped"] = self.dropped_violations
+        return VerificationReport(
+            checks_run=list(self.CHECKERS) if self.enabled else [],
+            violations=list(self.violations),
+            stats=stats,
+            disabled_reason=self.disabled_reason)

@@ -1,0 +1,117 @@
+"""Fault injection for exercising the verification suite.
+
+A checker that has never caught a seeded bug is scenery. This module
+provides the seeded bugs: :class:`LossySignature` wraps a real signature
+and makes its *filter* lie by omission for selected blocks — the one
+failure mode the paper's signatures must never have (false negatives;
+Section 2). The exact shadow set stays truthful, so the
+:class:`~repro.verify.checkers.VerificationSuite`'s signature oracle can
+convict the filter with ground truth, and the downstream isolation and
+serializability checkers can demonstrate the actual data corruption the
+dropped NACK causes.
+
+Test-only: nothing in the simulator proper imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.signatures.base import Signature, Snapshot
+from repro.signatures.rwpair import ReadWriteSignature
+
+
+class LossySignature:
+    """A signature whose filter drops configured blocks (false negatives).
+
+    Duck-types the :class:`repro.signatures.base.Signature` surface. The
+    membership *test* is sabotaged — ``contains`` answers False for any
+    block in ``drop_blocks`` even when it was inserted — while the exact
+    shadow set keeps the truth. Inserts, snapshots and clears all pass
+    through to the wrapped signature.
+
+    Not for use in scenarios that union signatures into summaries: the
+    real :meth:`Signature.union_update` type-checks its operand.
+    """
+
+    def __init__(self, inner: Signature,
+                 drop_blocks: Iterable[int] = ()) -> None:
+        self.inner = inner
+        self.drop_blocks = set(drop_blocks)
+        #: How many conflict tests the wrapper falsified.
+        self.dropped = 0
+
+    # -- hardware interface (sabotaged) ------------------------------------
+
+    def insert(self, block_addr: int) -> None:
+        self.inner.insert(block_addr)
+
+    def contains(self, block_addr: int) -> bool:
+        if block_addr in self.drop_blocks and \
+                self.inner.contains_exact(block_addr):
+            self.dropped += 1
+            return False
+        return self.inner.contains(block_addr)
+
+    def clear(self) -> None:
+        self.inner.clear()
+
+    @property
+    def is_empty(self) -> bool:
+        return self.inner.is_empty
+
+    # -- software accessibility --------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        return self.inner.snapshot()
+
+    def restore(self, snap: Snapshot) -> None:
+        self.inner.restore(snap)
+
+    def union_update(self, other) -> None:
+        self.inner.union_update(other)
+
+    def union_snapshot(self, snap: Snapshot) -> None:
+        self.inner.union_snapshot(snap)
+
+    def spawn_empty(self) -> Signature:
+        return self.inner.spawn_empty()
+
+    def insert_many(self, block_addrs: Iterable[int]) -> None:
+        self.inner.insert_many(block_addrs)
+
+    # -- observability (stays truthful) ------------------------------------
+
+    def contains_exact(self, block_addr: int) -> bool:
+        return self.inner.contains_exact(block_addr)
+
+    def exact_set(self) -> FrozenSet[int]:
+        return self.inner.exact_set()
+
+    @property
+    def exact_size(self) -> int:
+        return self.inner.exact_size
+
+    def false_positive(self, block_addr: int) -> bool:
+        return self.contains(block_addr) and \
+            not self.contains_exact(block_addr)
+
+    def __repr__(self) -> str:
+        return (f"LossySignature({self.inner!r}, "
+                f"drop={sorted(self.drop_blocks)})")
+
+
+def make_lossy(pair: ReadWriteSignature,
+               drop_blocks: Iterable[int]) -> ReadWriteSignature:
+    """Wrap both halves of a thread's signature pair with lossy filters.
+
+    Returns a new :class:`ReadWriteSignature` sharing the original
+    filters underneath; install it with ``thread.ctx.signature = ...``
+    *before* the thread begins its transaction.
+    """
+    drops = set(drop_blocks)
+    # LossySignature duck-types Signature rather than subclassing it (the
+    # sabotage must not inherit a working ``contains``).
+    return ReadWriteSignature(
+        LossySignature(pair.read, drops),       # type: ignore[arg-type]
+        LossySignature(pair.write, drops))      # type: ignore[arg-type]

@@ -1,0 +1,397 @@
+"""Static lint for workload definitions (``repro lint``).
+
+Workloads are ordinary Python (:mod:`repro.workloads`), and the three
+recurring ways to write a *wrong* one are all statically visible:
+
+``VR001`` **shared write outside an atomic section.** A
+    :class:`~repro.workloads.base.Section` without a ``lock`` runs
+    unprotected in both TM and LOCKS modes; ``Op.store``/``Op.incr`` in
+    such a section races unless the data is thread-private. The paper's
+    conversion rule (Section 6.2) is "critical sections become
+    transactions" — a bare write means a section the conversion missed.
+
+``VR002`` **unseeded randomness.** Calling the ``random`` module's
+    global functions (or ``random.Random()`` with no seed) makes runs
+    irreproducible and sweep results uncacheable. Workloads receive a
+    seeded ``rng`` and a ``seed`` attribute; derive from those.
+
+``VR003`` **non-yielding infinite loop in a generator.** Workload
+    programs are generators driven by the cooperative simulator; a
+    ``while True:`` without a ``yield`` (or ``break``/``return``/
+    ``raise``) inside never returns control and hangs the run.
+
+Suppression: append ``# lint: disable=VR001`` (comma-separate several
+ids, or omit the ``=`` part to disable all rules) to the offending line
+or the line directly above it.
+
+The linter is pure stdlib (:mod:`ast` + :mod:`tokenize`): it runs in CI
+and pre-commit without importing the workload under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: rule id -> one-line description (the ``repro lint --rules`` catalog).
+RULES: Dict[str, str] = {
+    "VR000": "file does not parse",
+    "VR001": "shared-memory write outside an atomic (locked) section",
+    "VR002": "unseeded randomness (module-level random.* or bare Random())",
+    "VR003": "generator contains an infinite loop that never yields",
+}
+
+#: Op constructors that produce memory writes.
+_WRITE_OPS = frozenset({"store", "incr", "swap"})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint diagnostic."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    fixit: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message, "fixit": self.fixit}
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}: {self.rule} {self.message}"
+                f" [fix: {self.fixit}]")
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """line number -> suppressed rule ids (None = all rules)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            if not text.startswith("lint:"):
+                continue
+            directive = text[len("lint:"):].strip()
+            if not directive.startswith("disable"):
+                continue
+            rest = directive[len("disable"):].strip()
+            rules: Optional[Set[str]]
+            if rest.startswith("="):
+                rules = {r.strip().upper() for r in rest[1:].split(",")
+                         if r.strip()}
+            else:
+                rules = None  # bare "disable": everything
+            line = tok.start[0]
+            for target in (line, line + 1):
+                existing = out.get(target, set())
+                if rules is None or existing is None:
+                    out[target] = None
+                else:
+                    out[target] = existing | rules
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _is_suppressed(finding: LintFinding,
+                   supp: Dict[int, Optional[Set[str]]]) -> bool:
+    rules = supp.get(finding.line, set())
+    return rules is None or finding.rule in rules
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+def _is_op_write_call(node: ast.AST) -> bool:
+    """``Op.store(...)`` / ``Op.incr(...)`` / ``Op.swap(...)``."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WRITE_OPS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "Op")
+
+
+def _subtree_has_write(node: ast.AST) -> bool:
+    return any(_is_op_write_call(n) for n in ast.walk(node))
+
+
+class _Scope:
+    """Name resolution for one module: classes, functions, methods."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.functions: Dict[str, ast.FunctionDef] = {}
+        self.methods: Dict[str, Dict[str, ast.FunctionDef]] = {}
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                table: Dict[str, ast.FunctionDef] = {}
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        table[item.name] = item
+                self.methods[node.name] = table
+
+    def resolve(self, call: ast.Call,
+                enclosing_class: Optional[str]) -> Optional[ast.FunctionDef]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self.functions.get(func.id)
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self" and enclosing_class):
+            return self.methods.get(enclosing_class, {}).get(func.attr)
+        return None
+
+
+def _ops_expr_has_write(expr: ast.AST, func: Optional[ast.FunctionDef],
+                        enclosing_class: Optional[str], scope: _Scope,
+                        seen: Optional[Set[str]] = None) -> bool:
+    """Conservatively decide whether an ``ops=`` expression writes memory.
+
+    Handles: literal lists/tuples, local names built up in the enclosing
+    function (flow-insensitive: any assignment or ``.append`` to the name
+    counts), and helper calls (``self._helper(...)`` or module-level
+    functions), followed transitively.
+    """
+    if seen is None:
+        seen = set()
+    if isinstance(expr, (ast.List, ast.Tuple)):
+        return _subtree_has_write(expr)
+    if isinstance(expr, ast.Call):
+        target = scope.resolve(expr, enclosing_class)
+        if target is not None:
+            key = f"{enclosing_class}.{target.name}"
+            if key in seen:
+                return False
+            seen.add(key)
+            if _subtree_has_write(target):
+                return True
+            # One level of indirection: the helper may itself delegate.
+            for inner in ast.walk(target):
+                if isinstance(inner, ast.Call) and inner is not expr:
+                    resolved = scope.resolve(inner, enclosing_class)
+                    if resolved is not None and \
+                            f"{enclosing_class}.{resolved.name}" not in seen:
+                        if _ops_expr_has_write(inner, target,
+                                               enclosing_class, scope,
+                                               seen):
+                            return True
+            return False
+        return _subtree_has_write(expr)
+    if isinstance(expr, ast.Name) and func is not None:
+        name = expr.id
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == name
+                       for t in node.targets):
+                    if _ops_expr_has_write(node.value, func,
+                                           enclosing_class, scope, seen):
+                        return True
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name) and \
+                        node.target.id == name:
+                    if _subtree_has_write(node.value):
+                        return True
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("append", "extend", "insert")
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name):
+                if _subtree_has_write(node):
+                    return True
+        return False
+    return _subtree_has_write(expr)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+def _check_vr001(tree: ast.Module, path: str) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    scope = _Scope(tree)
+
+    def visit(node: ast.AST, func: Optional[ast.FunctionDef],
+              cls: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            new_func, new_cls = func, cls
+            if isinstance(child, ast.ClassDef):
+                new_cls = child.name
+            elif isinstance(child, ast.FunctionDef):
+                new_func = child
+            if isinstance(child, ast.Call) and \
+                    isinstance(child.func, ast.Name) and \
+                    child.func.id == "Section":
+                _check_section(child, func, cls)
+            visit(child, new_func, new_cls)
+
+    def _check_section(call: ast.Call, func: Optional[ast.FunctionDef],
+                       cls: Optional[str]) -> None:
+        lock = None
+        for kw in call.keywords:
+            if kw.arg == "lock":
+                lock = kw.value
+        if len(call.args) >= 2:
+            lock = call.args[1]
+        if lock is not None and not (
+                isinstance(lock, ast.Constant) and lock.value is None):
+            return  # atomic section: writes are protected
+        ops = None
+        for kw in call.keywords:
+            if kw.arg == "ops":
+                ops = kw.value
+        if ops is None and call.args:
+            ops = call.args[0]
+        if ops is None:
+            return
+        if _ops_expr_has_write(ops, func, cls, scope):
+            findings.append(LintFinding(
+                path=path, line=call.lineno, rule="VR001",
+                message=("Section without a lock contains memory writes "
+                         "(Op.store/Op.incr); it races in both TM and "
+                         "LOCKS modes unless the data is thread-private"),
+                fixit=("pass lock=<lock address> to make the section "
+                       "atomic, or suppress with '# lint: disable=VR001' "
+                       "if every written address is thread-private")))
+
+    visit(tree, None, None)
+    return findings
+
+
+def _check_vr002(tree: ast.Module, path: str) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"):
+            continue
+        attr = node.func.attr
+        if attr == "Random":
+            if node.args or node.keywords:
+                continue  # seeded constructor: fine
+            message = ("random.Random() without a seed is "
+                       "irreproducible")
+            fixit = ("seed it from the workload: "
+                     "random.Random(self.seed ^ <salt>)")
+        else:
+            message = (f"random.{attr}() uses the shared module-level "
+                       "RNG, making runs irreproducible and "
+                       "sweep caches unsound")
+            fixit = ("use the seeded rng passed to program(), or a "
+                     "random.Random(self.seed ^ <salt>) instance")
+        findings.append(LintFinding(path=path, line=node.lineno,
+                                    rule="VR002", message=message,
+                                    fixit=fixit))
+    return findings
+
+
+def _loop_escapes(loop: ast.While) -> bool:
+    """Whether the loop body can yield or leave the loop."""
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # Nested definitions don't execute in the loop body.
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Return,
+                             ast.Raise, ast.Break)):
+            return True
+    return False
+
+
+def _check_vr003(tree: ast.Module, path: str) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        is_generator = any(
+            isinstance(n, (ast.Yield, ast.YieldFrom))
+            for n in ast.walk(func)
+            if not isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            or n is func)
+        if not is_generator:
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            truthy = (isinstance(test, ast.Constant) and bool(test.value))
+            if not truthy:
+                continue
+            if _loop_escapes(node):
+                continue
+            findings.append(LintFinding(
+                path=path, line=node.lineno, rule="VR003",
+                message=("'while True:' inside a generator never yields, "
+                         "breaks, returns, or raises — the cooperative "
+                         "simulator would hang here"),
+                fixit=("yield inside the loop, add a break/return, or "
+                       "bound the loop")))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
+    """Lint one module's source; returns unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path=path, line=exc.lineno or 1, rule="VR000",
+                            message=f"syntax error: {exc.msg}",
+                            fixit="fix the syntax error")]
+    findings: List[LintFinding] = []
+    findings.extend(_check_vr001(tree, path))
+    findings.extend(_check_vr002(tree, path))
+    findings.extend(_check_vr003(tree, path))
+    supp = _suppressions(source)
+    kept = [f for f in findings if not _is_suppressed(f, supp)]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+def lint_file(path: str) -> List[LintFinding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), path)
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
+    """Lint files and (recursively) directories of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            files.append(path)
+    findings: List[LintFinding] = []
+    for filename in files:
+        findings.extend(lint_file(filename))
+    return findings
+
+
+def render_findings(findings: Iterable[LintFinding]) -> str:
+    lines = [str(f) for f in findings]
+    if not lines:
+        return "lint: no findings"
+    lines.append(f"lint: {len(lines)} finding(s)")
+    return "\n".join(lines)

@@ -74,5 +74,9 @@ class Cholesky(Workload):
                           lock=self.queue_lock,
                           unit=True,
                           label=f"cholesky.pop[{thread_index}.{unit}]")
+            # Writes target this thread's own panel blocks only (the
+            # paper's unprotected numeric phase), so the section is safe
+            # without a lock or transaction.
+            # lint: disable=VR001
             yield Section(ops=self._numeric_phase(thread_index, rng),
                           label=f"cholesky.factor[{thread_index}.{unit}]")

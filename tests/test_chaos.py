@@ -18,6 +18,7 @@ from repro.cpu.executor import ThreadExecutor
 from repro.harness.system import System
 from repro.osmodel.paging import PagingDaemon
 from repro.osmodel.scheduler import TimeSliceScheduler
+from repro.verify import VerificationSuite
 from repro.workloads import BankTransfer, LinkedListSet, SharedCounter
 
 
@@ -28,6 +29,8 @@ def run_chaos(workload, num_threads, num_cores=2, quantum=600,
     cfg = cfg.with_signature(signature, bits=bits)
     cfg = replace(cfg, tm=replace(cfg.tm, contention_policy=policy))
     system = System(cfg, seed=seed)
+    bus, _ = system.attach_bus(with_log=False)
+    suite = VerificationSuite(system).attach(bus)
     threads = [system.new_thread() for _ in range(num_threads)]
     for thread, slot in zip(threads, system.all_slots()):
         slot.bind(thread)
@@ -50,6 +53,8 @@ def run_chaos(workload, num_threads, num_cores=2, quantum=600,
         assert system.sim.now < 300_000_000, "chaos run did not converge"
     scheduler.stop()
     pager.stop()
+    report = suite.finish()
+    assert report.ok, report.summary()
     return system, scheduler, pager
 
 

@@ -1,0 +1,255 @@
+"""Tests for the static workload linter (:mod:`repro.verify.lint`)."""
+
+import os
+import textwrap
+
+from repro.verify.lint import (RULES, LintFinding, lint_file, lint_paths,
+                               lint_source, render_findings)
+
+
+def lint(snippet):
+    return lint_source(textwrap.dedent(snippet), path="wl.py")
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestVR001WriteOutsideAtomic:
+    def test_bare_section_with_store_flagged(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield Section(ops=[Op.store(self.word, 1)])
+        """)
+        assert rules_of(findings) == ["VR001"]
+        assert "lock" in findings[0].fixit
+
+    def test_locked_section_is_clean(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield Section(ops=[Op.store(self.word, 1)],
+                              lock=self.lock)
+        """)
+        assert findings == []
+
+    def test_explicit_none_lock_counts_as_bare(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield Section(ops=[Op.incr(self.word)], lock=None)
+        """)
+        assert rules_of(findings) == ["VR001"]
+
+    def test_read_only_section_is_clean(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield Section(ops=[Op.load(self.word),
+                                   Op.compute(100)])
+        """)
+        assert findings == []
+
+    def test_write_hidden_in_helper_method_is_found(self):
+        findings = lint("""
+            class Workload:
+                def _phase(self):
+                    return [Op.swap(self.word, 0)]
+
+                def program(self, i, rng):
+                    yield Section(ops=self._phase())
+        """)
+        assert rules_of(findings) == ["VR001"]
+
+    def test_write_in_locally_built_list_is_found(self):
+        findings = lint("""
+            def program(self, i, rng):
+                ops = [Op.compute(10)]
+                ops.append(Op.store(self.word, 2))
+                yield Section(ops=ops)
+        """)
+        assert rules_of(findings) == ["VR001"]
+
+    def test_helper_without_writes_is_clean(self):
+        findings = lint("""
+            class Workload:
+                def _phase(self):
+                    return [Op.load(self.word)]
+
+                def program(self, i, rng):
+                    yield Section(ops=self._phase())
+        """)
+        assert findings == []
+
+
+class TestVR002UnseededRandomness:
+    def test_module_level_random_flagged(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield Section(ops=[Op.compute(random.randrange(100))],
+                              lock=self.lock)
+        """)
+        assert rules_of(findings) == ["VR002"]
+        assert "rng" in findings[0].fixit
+
+    def test_unseeded_random_constructor_flagged(self):
+        findings = lint("""
+            def __init__(self):
+                self.rng = random.Random()
+        """)
+        assert rules_of(findings) == ["VR002"]
+
+    def test_seeded_constructor_is_clean(self):
+        findings = lint("""
+            def __init__(self, seed):
+                self.rng = random.Random(seed ^ 0x5eed)
+        """)
+        assert findings == []
+
+    def test_passed_in_rng_is_clean(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield Section(ops=[Op.compute(rng.randrange(100))],
+                              lock=self.lock)
+        """)
+        assert findings == []
+
+
+class TestVR003NonYieldingLoop:
+    def test_infinite_loop_in_generator_flagged(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield Section(ops=[], lock=self.lock)
+                while True:
+                    i += 1
+        """)
+        assert rules_of(findings) == ["VR003"]
+
+    def test_while_one_also_flagged(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield 1
+                while 1:
+                    i += 1
+        """)
+        assert rules_of(findings) == ["VR003"]
+
+    def test_yielding_loop_is_clean(self):
+        findings = lint("""
+            def program(self, i, rng):
+                while True:
+                    yield Section(ops=[], lock=self.lock)
+        """)
+        assert findings == []
+
+    def test_breaking_loop_is_clean(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield 1
+                while True:
+                    if i:
+                        break
+        """)
+        assert findings == []
+
+    def test_non_generator_is_exempt(self):
+        findings = lint("""
+            def spin(flag):
+                while True:
+                    pass
+        """)
+        assert findings == []
+
+
+class TestVR000AndSuppressions:
+    def test_syntax_error_reports_vr000(self):
+        findings = lint("def broken(:\n")
+        assert rules_of(findings) == ["VR000"]
+
+    def test_suppression_on_same_line(self):
+        findings = lint("""
+            def program(self, i, rng):
+                yield Section(ops=[Op.store(self.word, 1)])  # lint: disable=VR001
+        """)
+        assert findings == []
+
+    def test_suppression_on_line_above(self):
+        findings = lint("""
+            def program(self, i, rng):
+                # lint: disable=VR001
+                yield Section(ops=[Op.store(self.word, 1)])
+        """)
+        assert findings == []
+
+    def test_bare_disable_suppresses_everything(self):
+        findings = lint("""
+            def program(self, i, rng):
+                # lint: disable
+                yield Section(ops=[Op.store(self.w, random.randrange(9))])
+        """)
+        assert findings == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        findings = lint("""
+            def program(self, i, rng):
+                # lint: disable=VR002
+                yield Section(ops=[Op.store(self.word, 1)])
+        """)
+        assert rules_of(findings) == ["VR001"]
+
+    def test_comma_separated_rule_list(self):
+        findings = lint("""
+            def program(self, i, rng):
+                # lint: disable=VR001, VR002
+                yield Section(ops=[Op.store(self.w, random.randrange(9))])
+        """)
+        assert findings == []
+
+    def test_suppression_does_not_reach_past_next_line(self):
+        """A disable comment covers its own line and the next — a finding
+        two lines down (a wrapped call) stays reported."""
+        findings = lint("""
+            def program(self, i, rng):
+                # lint: disable=VR002
+                yield Section(ops=[Op.load(self.w),
+                                   Op.compute(random.randrange(9))],
+                              lock=self.l)
+        """)
+        assert rules_of(findings) == ["VR002"]
+
+
+class TestEntryPoints:
+    def test_rules_catalog_is_complete(self):
+        assert set(RULES) == {"VR000", "VR001", "VR002", "VR003"}
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "def p(self, i, rng):\n"
+            "    yield Section(ops=[Op.incr(self.w)])\n")
+        (pkg / "good.py").write_text(
+            "def p(self, i, rng):\n"
+            "    yield Section(ops=[Op.incr(self.w)], lock=self.l)\n")
+        (pkg / "notes.txt").write_text("not python\n")
+        findings = lint_paths([str(tmp_path)])
+        assert rules_of(findings) == ["VR001"]
+        assert findings[0].path.endswith("bad.py")
+
+    def test_lint_file_reads_from_disk(self, tmp_path):
+        target = tmp_path / "wl.py"
+        target.write_text("x = random.Random()\n")
+        findings = lint_file(str(target))
+        assert rules_of(findings) == ["VR002"]
+
+    def test_render_findings_formats(self):
+        finding = LintFinding(path="wl.py", line=3, rule="VR001",
+                              message="races", fixit="add a lock")
+        text = render_findings([finding])
+        assert "wl.py:3: VR001" in text
+        assert "1 finding(s)" in text
+        assert render_findings([]) == "lint: no findings"
+        assert finding.to_dict()["rule"] == "VR001"
+
+    def test_bundled_workloads_pass_the_linter(self):
+        import repro.workloads as workloads
+        pkg_dir = os.path.dirname(workloads.__file__)
+        findings = lint_paths([pkg_dir])
+        assert findings == [], render_findings(findings)

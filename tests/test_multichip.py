@@ -206,3 +206,145 @@ class TestWorkloadsOnMultichip:
         value = result.system.memory.load(
             result.system.page_table(0).translate(wl.counter))
         assert value == 16
+
+
+class TestInvariantAudits:
+    """System-wide invariant checks against the two-level directory:
+    isolation coverage and directory accuracy must hold through
+    cross-chip traffic, scrubs, and relocation notes — and the audits
+    must actually reject planted corruption."""
+
+    def _pblock(self, system, thread, vaddr):
+        return thread.translate(vaddr) & ~(system.cfg.block_bytes - 1)
+
+    def test_audits_clean_after_cross_chip_traffic(self):
+        from repro.coherence.invariants import check_all
+        system, threads = build()
+        a, b = cross_chip_pair(system, threads)
+
+        def gen():
+            yield from system.manager.begin(a.slot)
+            yield from a.slot.core.store(a.slot, 0x1000_0000, 5)
+            yield from system.manager.commit(a.slot)
+            yield from b.slot.core.load(b.slot, 0x1000_0000)
+
+        run(system, gen())
+        summary = check_all(system)
+        assert len(summary) == 4
+
+    def test_open_transaction_write_set_is_covered(self):
+        from repro.coherence.invariants import (check_directory_accuracy,
+                                                check_isolation_coverage)
+        system, threads = build()
+        a = threads[0]
+
+        def gen():
+            yield from system.manager.begin(a.slot)
+            yield from a.slot.core.store(a.slot, 0x1000_0000, 1)
+
+        run(system, gen())
+        assert a.ctx.in_tx
+        assert check_isolation_coverage(system) >= 1
+        assert check_directory_accuracy(system) > 0
+
+    def test_scrub_block_leaves_sticky_coverage(self):
+        """Scrubbing a frame under an open transaction must not strand
+        the write set: the covering core goes sticky at the chip level
+        and the chip goes sticky at the memory level."""
+        from repro.coherence.invariants import check_isolation_coverage
+        system, threads = build()
+        a = threads[0]
+        vaddr = 0x1000_0000
+
+        def gen():
+            yield from system.manager.begin(a.slot)
+            yield from a.slot.core.store(a.slot, vaddr, 7)
+
+        run(system, gen())
+        pblock = self._pblock(system, a, vaddr)
+        fabric = system.fabric
+        fabric.scrub_block(pblock)
+        assert a.slot.core.l1.peek(pblock) is None
+        chip = fabric.chip_of(a.slot.core.core_id)
+        assert a.slot.core.core_id in \
+            fabric.chip_entry_view(chip, pblock).sticky
+        assert chip in fabric.mem_entry_view(pblock).sticky_chips
+        assert check_isolation_coverage(system) >= 1
+
+        def fin():
+            yield from system.manager.abort(a.slot)
+
+        run(system, fin())
+
+    def test_scrub_block_without_transactions_clears_everything(self):
+        system, threads = build()
+        a = threads[0]
+        vaddr = 0x1000_0000
+
+        def gen():
+            yield from system.manager.begin(a.slot)
+            yield from a.slot.core.store(a.slot, vaddr, 7)
+            yield from system.manager.commit(a.slot)
+
+        run(system, gen())
+        pblock = self._pblock(system, a, vaddr)
+        fabric = system.fabric
+        fabric.scrub_block(pblock)
+        chip = fabric.chip_of(a.slot.core.core_id)
+        entry = fabric.chip_entry_view(chip, pblock)
+        mem = fabric.mem_entry_view(pblock)
+        assert a.slot.core.l1.peek(pblock) is None
+        assert entry.owner is None and not entry.sharers
+        assert not entry.sticky
+        assert mem.owner_chip is None and not mem.sharer_chips
+
+    def test_note_relocated_block_is_conservative_everywhere(self):
+        from repro.coherence.invariants import check_isolation_coverage
+        system, threads = build()
+        fabric = system.fabric
+        pblock = 0x4000
+        fabric.note_relocated_block(pblock)
+        num_chips = fabric.cfg.num_chips
+        per_chip = fabric.cfg.num_cores
+        mem = fabric.mem_entry_view(pblock)
+        assert mem.sticky_chips == set(range(num_chips))
+        for chip in range(num_chips):
+            first = chip * per_chip
+            entry = fabric.chip_entry_view(chip, pblock)
+            assert entry.sticky == set(range(first, first + per_chip))
+        # Conservative stickies keep any write set at that block covered.
+        a = threads[0]
+
+        def gen():
+            yield from system.manager.begin(a.slot)
+
+        run(system, gen())
+        a.ctx.signature.write.insert(pblock)
+        assert check_isolation_coverage(system) >= 1
+
+    def test_directory_accuracy_rejects_planted_holder(self):
+        from repro.cache.block import MESI
+        from repro.coherence.invariants import (InvariantViolation,
+                                                check_directory_accuracy)
+        system, _ = build()
+        # A cached line no directory level knows about is a protocol bug.
+        system.cores[3].l1.insert(0x880, MESI.SHARED)
+        with pytest.raises(InvariantViolation):
+            check_directory_accuracy(system)
+
+    def test_isolation_coverage_rejects_stranded_write_set(self):
+        from repro.coherence.invariants import (InvariantViolation,
+                                                check_isolation_coverage)
+        system, threads = build()
+        a = threads[0]
+
+        def gen():
+            yield from system.manager.begin(a.slot)
+
+        run(system, gen())
+        # A write-set block that is neither cached nor pointed at by any
+        # directory level would let conflicting requests skip the
+        # signature — the audit must refuse it.
+        a.ctx.signature.write.insert(0x7000)
+        with pytest.raises(InvariantViolation):
+            check_isolation_coverage(system)

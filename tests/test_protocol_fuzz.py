@@ -18,6 +18,7 @@ from repro.common.errors import AbortTransaction
 from repro.common.rng import make_rng
 from repro.harness.runner import run_workload
 from repro.harness.system import System
+from repro.verify import VerificationSuite
 from repro.workloads import BankTransfer
 
 # A deliberately tiny machine: 2-way x 2-core with 4KB L1s, so random
@@ -43,7 +44,14 @@ def build_system(signature=SignatureKind.PERFECT,
 
 
 def apply_ops(system, threads, ops):
-    """Spawn one process per thread executing its slice of the op batch."""
+    """Spawn one process per thread executing its slice of the op batch.
+
+    Every batch also runs under the dynamic :class:`VerificationSuite`
+    (signature/undo oracles, shadow-memory isolation, serializability) —
+    the fuzzer audits data-level correctness, not just protocol structure.
+    """
+    bus, _ = system.attach_bus(with_log=False)
+    suite = VerificationSuite(system).attach(bus)
     per_thread = {t.tid: [] for t in threads}
     for tidx, kind, addr_slot in ops:
         per_thread[threads[tidx].tid].append((kind, addr_slot))
@@ -80,6 +88,8 @@ def apply_ops(system, threads, ops):
                               name=f"fuzz{t.tid}")
              for t in threads]
     system.sim.run_until_done(procs, limit=200_000_000)
+    report = suite.finish()
+    assert report.ok, report.summary()
 
 
 class TestProtocolFuzz:
