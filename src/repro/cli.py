@@ -16,6 +16,10 @@ a script::
     python -m repro sweep Mp3d --mode sizes --sizes 64 2048 --jobs 4
     python -m repro trace SharedCounter --threads 4 --out counter.trace.json
     python -m repro lint
+    python -m repro lint --self --format json
+    python -m repro mc --fabric directory --state-cap 5000
+    python -m repro mc --fabric snooping --mutate eager-e-grant \\
+        --dump counterexample.json
 
 The global ``--json`` flag switches every command from rendered tables to
 structured JSON records (``RunResult``/``SweepResult`` serializations or
@@ -183,14 +187,23 @@ def _cmd_lint(args) -> int:
     from repro.verify.lint import lint_paths, render_findings
 
     paths = args.paths
-    if not paths:
-        # Default target: the bundled workload definitions, wherever the
-        # package is installed.
-        import repro.workloads
-        paths = [str(__import__("pathlib").Path(
-            repro.workloads.__file__).parent)]
-    findings = lint_paths(paths)
-    if args.json:
+    if args.self:
+        from repro.verify.selflint import selflint_paths
+        findings = selflint_paths(paths or None)
+        if not paths:
+            import repro
+            paths = [str(__import__("pathlib").Path(
+                repro.__file__).parent)]
+    else:
+        if not paths:
+            # Default target: the bundled workload definitions, wherever
+            # the package is installed.
+            import repro.workloads
+            paths = [str(__import__("pathlib").Path(
+                repro.workloads.__file__).parent)]
+        findings = lint_paths(paths)
+    # Findings always exit nonzero, whatever the output format.
+    if args.format == "json" or args.json:
         _emit_json([dataclasses.asdict(f) for f in findings])
         return 1 if findings else 0
     if findings:
@@ -199,6 +212,40 @@ def _cmd_lint(args) -> int:
         return 1
     print(f"clean: no findings in {', '.join(paths)}")
     return 0
+
+
+def _cmd_mc(args) -> int:
+    from repro.common.config import ConfigError
+    from repro.mc import DEFAULT_STATE_CAP, ModelConfig, check
+    from repro.verify.faults import MUTATIONS
+
+    cap = (args.state_cap if args.state_cap is not None
+           else DEFAULT_STATE_CAP)
+    try:
+        mcfg = ModelConfig(
+            fabric=args.fabric, cores=args.cores, blocks=args.blocks,
+            contexts_per_core=args.contexts, chips=args.chips,
+            signature=SignatureKind(args.signature),
+            signature_bits=args.bits, mutation=args.mutate)
+        result = check(mcfg, state_cap=cap)
+    except ConfigError as exc:
+        print(f"mc: {exc}", file=sys.stderr)
+        return 2
+    if args.dump and result.counterexample is not None:
+        result.counterexample.dump(args.dump)
+    if args.json:
+        _emit_json(result.to_dict())
+        return 0 if result.clean else 1
+    print(result.summary())
+    if result.counterexample is not None:
+        print()
+        print(result.counterexample.render())
+        if args.dump:
+            print(f"\ncounterexample written to {args.dump}")
+    if not result.clean and args.mutate:
+        print(f"(mutation {args.mutate!r}: "
+              f"{MUTATIONS[args.mutate]})")
+    return 0 if result.clean else 1
 
 
 #: sweep --mode choices: how the variant family is built.
@@ -372,11 +419,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static analysis of workload definitions (rules VR001-VR003)")
+        help="static analysis of workload definitions (rules "
+             "VR001-VR005), or of the simulator itself (--self)")
     p.add_argument("paths", nargs="*",
                    help="files or directories to lint (default: the "
-                        "bundled repro.workloads package)")
+                        "bundled repro.workloads package, or the repro "
+                        "package itself with --self)")
+    p.add_argument("--self", action="store_true", dest="self",
+                   help="run the determinism self-lint (rules "
+                        "SR001-SR003) over the simulator's own sources")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (json also available via the "
+                        "global --json flag)")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "mc",
+        help="bounded exhaustive model check of a small protocol config")
+    p.add_argument("--fabric", default="directory",
+                   choices=["directory", "snooping", "multichip"])
+    p.add_argument("--cores", type=int, default=2,
+                   help="cores (per chip for multichip; default: 2)")
+    p.add_argument("--blocks", type=int, default=2,
+                   help="distinct memory blocks (default: 2)")
+    p.add_argument("--contexts", type=int, default=1,
+                   help="transactional contexts per core (default: 1)")
+    p.add_argument("--chips", type=int, default=2,
+                   help="chips (multichip fabric only; default: 2)")
+    p.add_argument("--signature", default="perfect",
+                   choices=[k.value for k in SignatureKind])
+    p.add_argument("--bits", type=int, default=64,
+                   help="signature bits for inexact designs "
+                        "(default: 64)")
+    p.add_argument("--state-cap", type=int, default=None,
+                   help="bound on distinct states explored (default: "
+                        "50,000)")
+    p.add_argument("--mutate", default=None,
+                   help="re-introduce a known protocol bug behind a "
+                        "flag (see repro.verify.faults.MUTATIONS); the "
+                        "checker must convict it")
+    p.add_argument("--dump", default=None, metavar="PATH",
+                   help="write the counterexample (if any) as JSON to "
+                        "this path")
+    p.set_defaults(fn=_cmd_mc)
 
     p = sub.add_parser(
         "sweep",

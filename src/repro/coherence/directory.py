@@ -288,9 +288,22 @@ class DirectoryFabric(CoherenceFabric):
                                owner=entry.owner, broadcast=True)
         # The broadcast responses rebuild the directory state. After the L2
         # eviction invalidated L1 copies, nobody caches the block; what can
-        # remain is signature coverage, which NACKs above.
+        # remain is signature coverage. An *incompatible* covering
+        # signature NACKs above, but a compatible one (a standing read set
+        # met by this GETS) stays silent — and must not become invisible:
+        # a later write has to keep reaching it. Those cores convert to
+        # sticky forwarding obligations, the same rule as a transactional
+        # eviction; the model checker found the variant that dropped them
+        # (4 steps: tx read, L2 victimization, then any remote read
+        # discharged all coverage and even granted E).
         entry.lost_info = False
         entry.must_check_all = bool(blockers)
+        if self._use_sticky:
+            for port in self.ports:
+                if port.core_id != requester_core and \
+                        port.holds_transactional(block_addr):
+                    entry.sticky.add(port.core_id)
+                    self._c_sticky_set.add()
         return blockers
 
     def _targeted_check(self, requester_core: int, requester_thread: int,

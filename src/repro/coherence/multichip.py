@@ -471,6 +471,22 @@ class MultiChipFabric(CoherenceFabric):
             entry.sharers.clear()
             entry.sticky.clear()
             entry.rights = None
+            # Memory-level sticky-M routes *remote* chips' requests back
+            # here for whole-chip signature checks, but an intra-chip
+            # request from a sibling core consults only this entry's
+            # pointers — so cores whose signatures still cover the block
+            # must keep per-core sticky obligations, exactly as for an
+            # L1 eviction. (Model-checker finding: without this, a
+            # 3-step trace — tx read, chip-L2 victimization, sibling
+            # access — bypasses the surviving read set entirely.)
+            if self._use_sticky:
+                first = chip * self.cfg.num_cores
+                for core_id in range(first, first + self.cfg.num_cores):
+                    port = self._ports.get(core_id)
+                    if port is not None and \
+                            port.holds_transactional(victim_addr):
+                        entry.sticky.add(core_id)
+                        self._c_sticky_set.add()
         mem_entry = self._mem_entry(victim_addr)
         mem_entry.sharer_chips.discard(chip)
         if mem_entry.owner_chip == chip:

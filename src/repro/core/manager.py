@@ -506,7 +506,7 @@ class TMManager:
         # The fresh frame has no directory pointers, so without help the
         # protocol would grant requests to it unchecked; force signature
         # checks on every block a signature now covers at its new address.
-        for block in relocated_blocks:
+        for block in sorted(relocated_blocks):
             fabric.note_relocated_block(block)
         reloc.release_old_frame()
 

@@ -1,0 +1,848 @@
+"""Finite protocol model for bounded exhaustive checking (``repro mc``).
+
+The model drives the *real* coherence fabrics — :class:`DirectoryFabric`,
+:class:`SnoopingFabric`, :class:`MultiChipFabric` — composed with real
+signatures, real :class:`TxContext` bookkeeping, and the real
+:class:`UndoLog`, but replaces the CPU/executor/simulator stack with a
+deterministic transition function over a tiny configuration (2-3 cores,
+2-4 blocks, 1-2 contexts per core). Each transition is one *atomic*
+protocol step:
+
+* a transactional or plain read/write by one thread context (the mirror
+  of ``Core._access`` steps 3-5: sibling check, L1 hit with silent E->M
+  upgrade, or a coherence request run to completion),
+* begin / commit / abort of a transaction,
+* an L1 or L2 victimization (capacity pressure made nondeterministic),
+* a physical-frame scrub + reuse (the paging hazard of Section 4.2).
+
+Because every coherence transaction in this codebase holds its entry lock
+from request to completion (DESIGN.md §5's blocking simplification),
+whole-request granularity explores exactly the serializations the
+simulator can produce; latencies are irrelevant to reachability and are
+discarded while draining the request generator.
+
+The model's state is fully captured by :meth:`ProtocolModel.encode` — a
+canonical, hashable tuple — and any encoded state can be re-installed
+with :meth:`ProtocolModel.decode`, which is what lets the checker in
+:mod:`repro.mc.checker` run a Murphi-style BFS over one live model
+instance instead of deep-copying machines.
+
+Functional values are abstracted to a tiny modular counter per block
+(writes bump the value mod ``value_mod``), which keeps the state space
+finite while making undo-log restoration observable. Frame reuse bumps a
+per-block *tenancy* generation; a cached line remembers the generation it
+was filled under, so a line that survives a scrub is statically visible
+as stale (the PR-3 frame-reuse bug).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cache.block import CacheBlock, MESI
+from repro.coherence.directory import DirectoryFabric
+from repro.coherence.fabric import CoherenceFabric
+from repro.coherence.msgs import Blocker, ConflictPort, Timestamp
+from repro.coherence.multichip import MultiChipFabric
+from repro.coherence.snooping import SnoopingFabric
+from repro.common.config import (CoherenceStyle, SignatureKind, SystemConfig)
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.stats import StatsRegistry
+from repro.core.txcontext import TxContext
+from repro.core.undolog import UndoRecord
+from repro.interconnect.network import Network
+from repro.interconnect.topology import GridTopology
+from repro.mem.physical import PhysicalMemory
+from repro.signatures.factory import make_rw_pair
+
+#: Fabric names accepted by :class:`ModelConfig`.
+FABRICS = ("directory", "snooping", "multichip")
+
+#: Action opcodes (first element of every action tuple).
+OPS = ("begin", "read", "write", "commit", "abort", "evict", "l2_evict",
+       "reuse")
+
+#: One transition: ("read", tid, block_index), ("evict", core_id,
+#: block_index), ("l2_evict", chip, block_index), ("reuse", block_index),
+#: or ("begin"|"commit"|"abort", tid).
+Action = Tuple
+
+
+def action_to_dict(action: Action) -> Dict[str, object]:
+    """JSON-friendly rendering of one action tuple."""
+    op = action[0]
+    if op in ("begin", "commit", "abort"):
+        return {"op": op, "thread": action[1]}
+    if op in ("read", "write"):
+        return {"op": op, "thread": action[1], "block": action[2]}
+    if op == "evict":
+        return {"op": op, "core": action[1], "block": action[2]}
+    if op == "l2_evict":
+        return {"op": op, "chip": action[1], "block": action[2]}
+    if op == "reuse":
+        return {"op": op, "block": action[1]}
+    raise ConfigError(f"unknown action {action!r}")
+
+
+def action_from_dict(data: Dict[str, object]) -> Action:
+    """Inverse of :func:`action_to_dict` (replay of dumped traces)."""
+    op = data["op"]
+    if op in ("begin", "commit", "abort"):
+        return (op, data["thread"])
+    if op in ("read", "write"):
+        return (op, data["thread"], data["block"])
+    if op == "evict":
+        return (op, data["core"], data["block"])
+    if op == "l2_evict":
+        return (op, data["chip"], data["block"])
+    if op == "reuse":
+        return (op, data["block"])
+    raise ConfigError(f"unknown action {data!r}")
+
+
+def format_action(action: Action) -> str:
+    """Human-readable rendering, e.g. ``write t1 B0`` or ``reuse B1``."""
+    op = action[0]
+    if op in ("begin", "commit", "abort"):
+        return f"{op} t{action[1]}"
+    if op in ("read", "write"):
+        return f"{op} t{action[1]} B{action[2]}"
+    if op == "evict":
+        return f"evict core{action[1]} B{action[2]}"
+    if op == "l2_evict":
+        return f"l2_evict chip{action[1]} B{action[2]}"
+    return f"reuse B{action[1]}"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shape of one model-checking configuration.
+
+    ``cores`` is per chip (``chips`` matters only for the multichip
+    fabric). ``value_mod`` bounds the abstract per-block value domain;
+    2 is enough to make undo-log restoration observable. The
+    ``allow_nontx`` / ``enable_*`` switches prune whole transition
+    families to trade coverage for state count.
+    """
+
+    fabric: str = "directory"
+    cores: int = 2
+    blocks: int = 2
+    contexts_per_core: int = 1
+    chips: int = 2
+    signature: SignatureKind = SignatureKind.PERFECT
+    signature_bits: int = 64
+    value_mod: int = 2
+    allow_nontx: bool = True
+    enable_evict: bool = True
+    enable_l2_evict: bool = True
+    enable_reuse: bool = True
+    mutation: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.fabric not in FABRICS:
+            raise ConfigError(
+                f"fabric must be one of {FABRICS}, got {self.fabric!r}")
+        if not 1 <= self.cores <= 4:
+            raise ConfigError("model cores must be 1..4")
+        if not 1 <= self.blocks <= 4:
+            raise ConfigError("model blocks must be 1..4")
+        if not 1 <= self.contexts_per_core <= 2:
+            raise ConfigError("model contexts_per_core must be 1 or 2")
+        if not 2 <= self.chips <= 3:
+            raise ConfigError("model chips must be 2 or 3")
+        if self.value_mod < 2:
+            raise ConfigError("value_mod must be >= 2")
+
+    @property
+    def total_cores(self) -> int:
+        return self.cores * (self.chips if self.fabric == "multichip" else 1)
+
+    @property
+    def total_contexts(self) -> int:
+        return self.total_cores * self.contexts_per_core
+
+    def describe(self) -> str:
+        chips = f"{self.chips}x" if self.fabric == "multichip" else ""
+        mut = f" +{self.mutation}" if self.mutation else ""
+        return (f"{self.fabric} {chips}{self.cores}c/{self.blocks}b/"
+                f"{self.contexts_per_core}ctx "
+                f"{self.signature.value}{mut}")
+
+    def to_dict(self) -> Dict[str, object]:
+        out = dataclasses.asdict(self)
+        out["signature"] = self.signature.value
+        return out
+
+
+class ModelL1:
+    """Tags-only L1 for one model core.
+
+    Duck-types the slice of :class:`repro.cache.array.CacheArray` that the
+    fabrics and :mod:`repro.coherence.invariants` use (``peek``,
+    ``resident_blocks``, ``invalidate``), with no capacity limit —
+    victimization is an explicit model transition instead of an LRU
+    side effect, so the checker can explore an eviction at *any* point.
+    Each line also remembers the frame-tenancy generation it was filled
+    under (see :class:`ProtocolModel`).
+    """
+
+    def __init__(self) -> None:
+        self._lines: Dict[int, CacheBlock] = {}
+        self.line_tenancy: Dict[int, int] = {}
+
+    def peek(self, block_addr: int) -> Optional[CacheBlock]:
+        return self._lines.get(block_addr)
+
+    def lookup(self, block_addr: int) -> Optional[CacheBlock]:
+        return self._lines.get(block_addr)
+
+    def resident_blocks(self) -> Iterator[CacheBlock]:
+        for addr in sorted(self._lines):
+            yield self._lines[addr]
+
+    def install(self, block_addr: int, state: MESI, tenancy: int
+                ) -> CacheBlock:
+        block = CacheBlock(block_addr, state)
+        self._lines[block_addr] = block
+        self.line_tenancy[block_addr] = tenancy
+        return block
+
+    def invalidate(self, block_addr: int) -> Optional[CacheBlock]:
+        self.line_tenancy.pop(block_addr, None)
+        return self._lines.pop(block_addr, None)
+
+    def clear(self) -> None:
+        self._lines.clear()
+        self.line_tenancy.clear()
+
+
+class _ModelThread:
+    """Thread shim: just enough of ``SoftwareThread`` for ports/invariants."""
+
+    __slots__ = ("tid", "asid", "ctx")
+
+    def __init__(self, tid: int, ctx: TxContext) -> None:
+        self.tid = tid
+        self.asid = 0
+        self.ctx = ctx
+
+    def translate(self, vaddr: int) -> int:
+        return vaddr  # flat address space: virtual == physical
+
+
+class _ModelSlot:
+    """Slot shim: one always-scheduled hardware context."""
+
+    __slots__ = ("thread", "summary")
+
+    def __init__(self, thread: _ModelThread) -> None:
+        self.thread = thread
+        self.summary = None  # no descheduling in the model
+
+
+class ModelPort(ConflictPort):
+    """One model core: L1 + thread contexts, answering fabric checks.
+
+    The conflict-check semantics mirror ``Core.check_conflicts`` exactly
+    (eager detection, per-context signature tests, requester exclusion);
+    the access path lives on :class:`ProtocolModel` because it needs the
+    global memory/tenancy state.
+    """
+
+    def __init__(self, core_id: int, slots: List[_ModelSlot]) -> None:
+        self._core_id = core_id
+        self.l1 = ModelL1()
+        self.slots = slots
+
+    @property
+    def core_id(self) -> int:
+        return self._core_id
+
+    def check_conflicts(self, block_addr: int, is_write: bool,
+                        exclude_thread: Optional[int], asid: int,
+                        requester_ts: Optional[Timestamp]) -> List[Blocker]:
+        blockers: List[Blocker] = []
+        for slot in self.slots:
+            thread = slot.thread
+            if thread.tid == exclude_thread:
+                continue
+            ctx = thread.ctx
+            if ctx.signature.conflicts(is_write, block_addr):
+                fp = ctx.signature.conflict_is_false_positive(
+                    is_write, block_addr)
+                blockers.append(Blocker(self._core_id, thread.tid,
+                                        ctx.timestamp, fp))
+        return blockers
+
+    def invalidate_block(self, block_addr: int) -> bool:
+        return self.l1.invalidate(block_addr) is not None
+
+    def downgrade_block(self, block_addr: int) -> bool:
+        block = self.l1.peek(block_addr)
+        if block is not None and block.state.is_exclusive:
+            block.state = MESI.SHARED
+            return True
+        return False
+
+    def holds_transactional(self, block_addr: int) -> bool:
+        for slot in self.slots:
+            sig = slot.thread.ctx.signature
+            if sig.read.contains(block_addr) or \
+                    sig.write.contains(block_addr):
+                return True
+        return False
+
+
+def _drain(gen):
+    """Run a coherence-request generator to completion, discarding time.
+
+    The model serializes whole requests, so every ``SimLock`` is free and
+    the generator only ever yields integer latencies; a yielded Future
+    would mean a contended lock, which is a model bug worth failing on.
+    """
+    while True:
+        try:
+            step = gen.send(None)
+        except StopIteration as stop:
+            return stop.value
+        if not isinstance(step, (int, float)):
+            raise SimulationError(
+                f"model request stalled on {step!r}; requests must run "
+                "uncontended")
+
+
+class TransitionViolation(Exception):
+    """An invariant that can only be judged *during* a transition failed
+    (undo-log restoration, write-set log coverage)."""
+
+    def __init__(self, invariant: str, message: str) -> None:
+        super().__init__(message)
+        self.invariant = invariant
+
+
+class ProtocolModel:
+    """The live model: real fabric + model ports + abstract memory."""
+
+    def __init__(self, mcfg: ModelConfig) -> None:
+        self.mcfg = mcfg
+        self.cfg = self._system_config(mcfg)
+        self.stats = StatsRegistry()
+        self.block_addrs = [i * self.cfg.block_bytes
+                            for i in range(mcfg.blocks)]
+        self._block_index = {addr: i
+                             for i, addr in enumerate(self.block_addrs)}
+        self.memory = PhysicalMemory(capacity_bytes=self.cfg.memory_bytes)
+        #: Per-block frame-tenancy generation, bumped by ``reuse``.
+        self.tenancy = [0] * mcfg.blocks
+        self.fabric = self._build_fabric()
+        self.contexts: List[TxContext] = []
+        self.cores: List[ModelPort] = []
+        for core_id in range(mcfg.total_cores):
+            slots = []
+            for slot_idx in range(mcfg.contexts_per_core):
+                tid = core_id * mcfg.contexts_per_core + slot_idx
+                ctx = TxContext(
+                    thread_id=tid,
+                    signature=make_rw_pair(self.cfg.tm.signature,
+                                           self.cfg.block_bytes),
+                    summary=make_rw_pair(self.cfg.tm.signature,
+                                         self.cfg.block_bytes),
+                    stats=self.stats,
+                    block_bytes=self.cfg.block_bytes,
+                    log_filter_entries=self.cfg.tm.log_filter_entries)
+                self.contexts.append(ctx)
+                slots.append(_ModelSlot(_ModelThread(tid, ctx)))
+            port = ModelPort(core_id, slots)
+            self.cores.append(port)
+            self.fabric.attach(port)
+        if mcfg.mutation is not None:
+            from repro.verify.faults import apply_protocol_mutation
+            apply_protocol_mutation(self.fabric, mcfg.mutation)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _system_config(mcfg: ModelConfig) -> SystemConfig:
+        if mcfg.fabric == "multichip":
+            base = SystemConfig.multichip(
+                num_chips=mcfg.chips, cores_per_chip=mcfg.cores,
+                threads_per_core=mcfg.contexts_per_core)
+        else:
+            base = SystemConfig.small(
+                num_cores=mcfg.cores,
+                threads_per_core=mcfg.contexts_per_core)
+            if mcfg.fabric == "snooping":
+                base = dataclasses.replace(
+                    base, coherence=CoherenceStyle.SNOOPING)
+        return base.with_signature(mcfg.signature,
+                                   bits=mcfg.signature_bits)
+
+    def _build_fabric(self) -> CoherenceFabric:
+        cfg = self.cfg
+        topology = GridTopology(*cfg.mesh_dims, cfg.num_cores, cfg.l2_banks)
+        network = Network(topology, cfg.link_latency, self.stats)
+        if self.mcfg.fabric == "multichip":
+            networks = [network] + [
+                Network(topology, cfg.link_latency, self.stats)
+                for _ in range(cfg.num_chips - 1)]
+            return MultiChipFabric(cfg, networks, self.stats)
+        if self.mcfg.fabric == "snooping":
+            return SnoopingFabric(cfg, network, self.stats)
+        return DirectoryFabric(cfg, network, self.stats)
+
+    # ------------------------------------------------------------------
+    # Action enumeration
+    # ------------------------------------------------------------------
+
+    def actions(self) -> List[Action]:
+        """Transitions enabled in the current state, in deterministic
+        order. Guards are *structural* (is a line resident, is the thread
+        in a transaction); whether an access actually changes state (it
+        may be NACKed) is discovered by applying it."""
+        mcfg = self.mcfg
+        out: List[Action] = []
+        for ctx in self.contexts:
+            tid = ctx.thread_id
+            if ctx.in_tx:
+                out.append(("commit", tid))
+                out.append(("abort", tid))
+            else:
+                out.append(("begin", tid))
+            if ctx.in_tx or mcfg.allow_nontx:
+                for b in range(mcfg.blocks):
+                    out.append(("read", tid, b))
+                    out.append(("write", tid, b))
+        if mcfg.enable_evict:
+            for core in self.cores:
+                for b in range(mcfg.blocks):
+                    if core.l1.peek(self.block_addrs[b]) is not None:
+                        out.append(("evict", core.core_id, b))
+        if mcfg.enable_l2_evict:
+            out.extend(self._l2_evict_actions())
+        if mcfg.enable_reuse:
+            for b in range(mcfg.blocks):
+                if not self._block_in_write_set(b):
+                    out.append(("reuse", b))
+        return out
+
+    def _l2_evict_actions(self) -> List[Action]:
+        out: List[Action] = []
+        if isinstance(self.fabric, DirectoryFabric):
+            for b in range(self.mcfg.blocks):
+                if self.fabric.l2.peek(self.block_addrs[b]) is not None:
+                    out.append(("l2_evict", 0, b))
+        elif isinstance(self.fabric, MultiChipFabric):
+            for chip in range(self.cfg.num_chips):
+                for b in range(self.mcfg.blocks):
+                    if self.fabric.l2s[chip].peek(
+                            self.block_addrs[b]) is not None:
+                        out.append(("l2_evict", chip, b))
+        # Snooping: L2 residency is behaviorally inert (latency only), so
+        # there is nothing to explore.
+        return out
+
+    def _block_in_write_set(self, b: int) -> bool:
+        """Reuse guard: freeing a frame some transaction would restore
+        into on abort is an OS bug, not a protocol state to explore."""
+        addr = self.block_addrs[b]
+        return any(ctx.in_tx
+                   and ctx.signature.write.contains_exact(addr)
+                   for ctx in self.contexts)
+
+    # ------------------------------------------------------------------
+    # Transition application
+    # ------------------------------------------------------------------
+
+    def apply(self, action: Action) -> None:
+        """Execute one transition on the live state.
+
+        Raises :class:`TransitionViolation` for invariants only judgeable
+        mid-transition. State-shaped invariants are the checker's job.
+        """
+        op = action[0]
+        if op == "begin":
+            self._do_begin(action[1])
+        elif op in ("read", "write"):
+            self._do_access(action[1], action[2], is_write=(op == "write"))
+        elif op == "commit":
+            self._do_commit(action[1])
+        elif op == "abort":
+            self._do_abort(action[1])
+        elif op == "evict":
+            self._do_evict(action[1], action[2])
+        elif op == "l2_evict":
+            self._do_l2_evict(action[1], action[2])
+        elif op == "reuse":
+            self._do_reuse(action[1])
+        else:
+            raise ConfigError(f"unknown action {action!r}")
+
+    def _core_of(self, tid: int) -> ModelPort:
+        return self.cores[tid // self.mcfg.contexts_per_core]
+
+    def _do_begin(self, tid: int) -> None:
+        self.contexts[tid].begin(now=0)
+        if self.stats.recorder is not None:
+            self.stats.emit("tm.begin", thread=tid, depth=1)
+
+    def _do_commit(self, tid: int) -> None:
+        self.contexts[tid].commit()
+        if self.stats.recorder is not None:
+            self.stats.emit("tm.commit", thread=tid, outer=True)
+
+    def _do_abort(self, tid: int) -> None:
+        """Abort with an on-the-fly check that the undo log restores the
+        exact pre-transaction memory image (the paper's eager-versioning
+        guarantee: "abort restores through the current translation")."""
+        ctx = self.contexts[tid]
+        logged: Dict[int, int] = {}
+        for frame in ctx.log._frames:
+            for record in frame.records:
+                # Earliest record per block wins: that is the value the
+                # LIFO unroll must land on.
+                logged.setdefault(record.vblock,
+                                  record.old_words[record.vblock])
+        missing = [f"B{self._block_index[a]}"
+                   for a in sorted(ctx.signature.write.exact_set())
+                   if a not in logged]
+        if missing:
+            raise TransitionViolation(
+                "log-write-coverage",
+                f"t{tid} aborts with write-set blocks "
+                f"{', '.join(missing)} never undo-logged — the abort "
+                "cannot restore them")
+        ctx.abort_all(self.memory, lambda v: v)
+        for addr, expected in sorted(logged.items()):
+            actual = self.memory.load(addr)
+            if actual != expected:
+                raise TransitionViolation(
+                    "log-restore",
+                    f"t{tid}'s abort left B{self._block_index[addr]} = "
+                    f"{actual}, undo log says pre-tx value was {expected}")
+        if self.stats.recorder is not None:
+            self.stats.emit("tm.abort", thread=tid, outer=True,
+                            cause="model")
+
+    def _do_access(self, tid: int, b: int, is_write: bool) -> None:
+        """Mirror of ``Core._access`` steps 2-5 at whole-request
+        granularity (no summary signatures: the model never deschedules).
+        A sibling conflict or a NACK leaves the state unchanged — the
+        checker discards the self-loop."""
+        ctx = self.contexts[tid]
+        core = self._core_of(tid)
+        addr = self.block_addrs[b]
+        in_tx = ctx.transactional
+        # (2) SMT sibling signatures.
+        for slot in core.slots:
+            other = slot.thread
+            if other.tid != tid and \
+                    other.ctx.signature.conflicts(is_write, addr):
+                return  # blocked at issue; no state change
+        line = core.l1.peek(addr)
+        if line is not None and (line.state.can_write if is_write
+                                 else line.state.can_read):
+            # (3) L1 hit. Writes to an E line upgrade silently — no
+            # coherence request, no remote signature check; exactly the
+            # path the E-grant rules must keep safe.
+            if in_tx:
+                self._insert_signature(ctx, addr, is_write)
+            if is_write and line.state is MESI.EXCLUSIVE:
+                line.state = MESI.MODIFIED
+        else:
+            # (4) Coherence request, run to completion.
+            ts = ctx.timestamp if ctx.in_tx else None
+            result = _drain(self.fabric.request(
+                core.core_id, tid, ts, addr, is_write, asid=0))
+            if not result.granted:
+                return  # NACK: retry is a different interleaving
+            state = result.grant_state
+            if is_write and state is MESI.EXCLUSIVE:
+                state = MESI.MODIFIED
+            core.l1.install(addr, state, self.tenancy[b])
+            if in_tx:
+                self._insert_signature(ctx, addr, is_write)
+        # (5) Version management + the functional access.
+        if is_write:
+            if in_tx and ctx.log_filter.should_log(addr):
+                ctx.log.append(addr, self.memory, lambda v: v)
+            old = self.memory.load(addr)
+            self.memory.store(addr, (old + 1) % self.mcfg.value_mod)
+            value = (old + 1) % self.mcfg.value_mod
+        else:
+            value = self.memory.load(addr)
+        if self.stats.recorder is not None:
+            self.stats.emit("tm.access", thread=tid, vaddr=addr, block=addr,
+                            write=is_write, value=value, tx=in_tx,
+                            in_tx=ctx.in_tx, asid=0)
+
+    @staticmethod
+    def _insert_signature(ctx: TxContext, addr: int, is_write: bool) -> None:
+        """Idempotent signature insert.
+
+        Guarding on the exact shadow set keeps every filter's internal
+        state a pure function of the exact set (one insert per member),
+        which is what makes signatures reconstructible in ``decode``.
+        """
+        if is_write:
+            if not ctx.signature.write.contains_exact(addr):
+                ctx.signature.insert_write(addr)
+        else:
+            if not ctx.signature.read.contains_exact(addr):
+                ctx.signature.insert_read(addr)
+
+    def _do_evict(self, core_id: int, b: int) -> None:
+        """L1 victimization, mirroring ``Core._install``'s victim path."""
+        core = self.cores[core_id]
+        addr = self.block_addrs[b]
+        line = core.l1.peek(addr)
+        if line is None:
+            raise SimulationError(f"evict of non-resident block B{b}")
+        transactional = core.holds_transactional(addr)
+        state = line.state
+        core.l1.invalidate(addr)
+        self.fabric.l1_evicted(core_id, addr, state, transactional)
+
+    def _do_l2_evict(self, chip: int, b: int) -> None:
+        """Shared-L2 victimization: the lost-directory-info / sticky-M
+        paths of Sections 5 and 7. Uses the fabrics' internal
+        victimization handlers, which the capacity-driven path also
+        calls — the model only makes *when* nondeterministic."""
+        addr = self.block_addrs[b]
+        if isinstance(self.fabric, DirectoryFabric):
+            if self.fabric.l2.invalidate(addr) is None:
+                raise SimulationError(f"l2_evict of non-resident B{b}")
+            self.fabric._l2_victimized(addr)
+        elif isinstance(self.fabric, MultiChipFabric):
+            if self.fabric.l2s[chip].invalidate(addr) is None:
+                raise SimulationError(f"l2_evict of non-resident B{b}")
+            self.fabric._chip_l2_victimized(chip, addr)
+        else:
+            raise SimulationError("l2_evict is undefined for snooping")
+
+    def _do_reuse(self, b: int) -> None:
+        """Scrub + frame reuse: the OS frees the frame and hands it to a
+        new tenant (fresh value, next tenancy generation)."""
+        addr = self.block_addrs[b]
+        self.fabric.scrub_block(addr)
+        self.tenancy[b] = (self.tenancy[b] + 1) % 2
+        self.memory.store(addr, 0)
+        if self.stats.recorder is not None:
+            self.stats.emit("os.frame_reuse", block=addr,
+                            tenancy=self.tenancy[b])
+
+    # ------------------------------------------------------------------
+    # State encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, core_map: Optional[Tuple[int, ...]] = None,
+               block_map: Optional[Tuple[int, ...]] = None,
+               chip_map: Optional[Tuple[int, ...]] = None) -> Tuple:
+        """Canonical hashable snapshot of all behavior-relevant state.
+
+        ``core_map``/``block_map``/``chip_map`` relabel identities on the
+        way out (``map[old] = new``); the identity maps give the *raw*
+        encoding that :meth:`decode` accepts. Observability state
+        (counters, possible_cycle, LRU clocks) is deliberately excluded:
+        it never feeds back into protocol decisions.
+        """
+        mcfg = self.mcfg
+        cm = core_map or tuple(range(mcfg.total_cores))
+        bm = block_map or tuple(range(mcfg.blocks))
+
+        mem = [0] * mcfg.blocks
+        ten = [0] * mcfg.blocks
+        for b, addr in enumerate(self.block_addrs):
+            mem[bm[b]] = self.memory.load(addr)
+            ten[bm[b]] = self.tenancy[b]
+
+        lines: List[Optional[Tuple]] = [None] * mcfg.total_cores
+        ctxs: List[Optional[Tuple]] = [None] * mcfg.total_cores
+        for core in self.cores:
+            row: List[Optional[Tuple[str, int]]] = [None] * mcfg.blocks
+            for b, addr in enumerate(self.block_addrs):
+                block = core.l1.peek(addr)
+                if block is not None:
+                    row[bm[b]] = (block.state.value,
+                                  core.l1.line_tenancy[addr])
+            lines[cm[core.core_id]] = tuple(row)
+            slot_rows = []
+            for slot in core.slots:
+                ctx = slot.thread.ctx
+                rs = tuple(sorted(bm[self._block_index[a]]
+                                  for a in ctx.signature.read.exact_set()
+                                  if a in self._block_index))
+                ws = tuple(sorted(bm[self._block_index[a]]
+                                  for a in ctx.signature.write.exact_set()
+                                  if a in self._block_index))
+                log = tuple(
+                    (bm[self._block_index[rec.vblock]],
+                     rec.old_words[rec.vblock])
+                    for frame in ctx.log._frames
+                    for rec in frame.records)
+                slot_rows.append((ctx.log.depth, rs, ws, log))
+            ctxs[cm[core.core_id]] = tuple(slot_rows)
+
+        return (tuple(mem), tuple(ten), tuple(lines), tuple(ctxs),
+                self._encode_fabric(cm, bm, chip_map))
+
+    def _encode_fabric(self, cm: Tuple[int, ...], bm: Tuple[int, ...],
+                       chip_map: Optional[Tuple[int, ...]]) -> Tuple:
+        mcfg = self.mcfg
+        if isinstance(self.fabric, DirectoryFabric):
+            entries: List[Optional[Tuple]] = [None] * mcfg.blocks
+            l2 = [False] * mcfg.blocks
+            for b, addr in enumerate(self.block_addrs):
+                e = self.fabric.entry_view(addr)
+                entries[bm[b]] = (
+                    -1 if e.owner is None else cm[e.owner],
+                    tuple(sorted(cm[c] for c in e.sharers)),
+                    tuple(sorted(cm[c] for c in e.sticky)),
+                    e.lost_info, e.must_check_all)
+                l2[bm[b]] = self.fabric.l2.peek(addr) is not None
+            return ("dir", tuple(entries), tuple(l2))
+        if isinstance(self.fabric, SnoopingFabric):
+            entries = [None] * mcfg.blocks
+            for b, addr in enumerate(self.block_addrs):
+                owner = self.fabric._owner.get(addr)
+                sharers = self.fabric._sharers.get(addr, set())
+                entries[bm[b]] = (
+                    -1 if owner is None else cm[owner],
+                    tuple(sorted(cm[c] for c in sharers)))
+            return ("snoop", tuple(entries))
+        fabric = self.fabric
+        assert isinstance(fabric, MultiChipFabric)
+        xm = chip_map or tuple(range(self.cfg.num_chips))
+        chips: List[Optional[Tuple]] = [None] * self.cfg.num_chips
+        for chip in range(self.cfg.num_chips):
+            rows: List[Optional[Tuple]] = [None] * mcfg.blocks
+            l2 = [False] * mcfg.blocks
+            for b, addr in enumerate(self.block_addrs):
+                e = fabric.chip_entry_view(chip, addr)
+                rows[bm[b]] = (
+                    e.rights,
+                    -1 if e.owner is None else cm[e.owner],
+                    tuple(sorted(cm[c] for c in e.sharers)),
+                    tuple(sorted(cm[c] for c in e.sticky)))
+                l2[bm[b]] = fabric.l2s[chip].peek(addr) is not None
+            chips[xm[chip]] = (tuple(rows), tuple(l2))
+        mems: List[Optional[Tuple]] = [None] * mcfg.blocks
+        for b, addr in enumerate(self.block_addrs):
+            m = fabric.mem_entry_view(addr)
+            mems[bm[b]] = (
+                -1 if m.owner_chip is None else xm[m.owner_chip],
+                tuple(sorted(xm[c] for c in m.sharer_chips)),
+                tuple(sorted(xm[c] for c in m.sticky_chips)))
+        return ("multichip", tuple(chips), tuple(mems))
+
+    # ------------------------------------------------------------------
+    # State decoding
+    # ------------------------------------------------------------------
+
+    def decode(self, state: Tuple) -> None:
+        """Re-install a raw (identity-mapped) encoded state."""
+        mcfg = self.mcfg
+        mem, ten, lines, ctxs, fabric_state = state
+        for b, addr in enumerate(self.block_addrs):
+            self.memory.store(addr, mem[b])
+            self.tenancy[b] = ten[b]
+        for core in self.cores:
+            core.l1.clear()
+            row = lines[core.core_id]
+            for b, cell in enumerate(row):
+                if cell is not None:
+                    state_char, tenancy = cell
+                    core.l1.install(self.block_addrs[b], MESI(state_char),
+                                    tenancy)
+            for slot, slot_state in zip(core.slots, ctxs[core.core_id]):
+                self._decode_ctx(slot.thread.ctx, slot_state)
+        self._decode_fabric(fabric_state)
+
+    def _decode_ctx(self, ctx: TxContext, slot_state: Tuple) -> None:
+        depth, rs, ws, log = slot_state
+        ctx.signature.clear()
+        for b in rs:
+            ctx.signature.insert_read(self.block_addrs[b])
+        for b in ws:
+            ctx.signature.insert_write(self.block_addrs[b])
+        ctx.log.reset()
+        ctx.log_filter.clear()
+        if depth:
+            ctx.log.push_frame(checkpoint=None)
+            for b, old in log:
+                addr = self.block_addrs[b]
+                old_words = {addr + off: (old if off == 0 else 0)
+                             for off in range(0, self.cfg.block_bytes, 8)}
+                ctx.log.current.records.append(
+                    UndoRecord(vblock=addr, old_words=old_words))
+                ctx.log.appended += 1
+                ctx.log_filter.should_log(addr)
+            ctx.timestamp = (0, ctx.thread_id)
+        else:
+            ctx.timestamp = None
+        ctx.possible_cycle = False
+        ctx.pending_abort = False
+        ctx.pending_abort_fp = False
+        ctx.aborted_by_os = False
+        ctx.needs_summary_recompute = False
+        ctx.escape_depth = 0
+        ctx.write_buffer.clear()
+
+    def _decode_fabric(self, fabric_state: Tuple) -> None:
+        tag = fabric_state[0]
+        if tag == "dir":
+            fabric = self.fabric
+            assert isinstance(fabric, DirectoryFabric)
+            _tag, entries, l2 = fabric_state
+            fabric.l2.flush()
+            for b, addr in enumerate(self.block_addrs):
+                owner, sharers, sticky, lost, check_all = entries[b]
+                e = fabric.entry_view(addr)
+                e.owner = None if owner < 0 else owner
+                e.sharers = set(sharers)
+                e.sticky = set(sticky)
+                e.lost_info = lost
+                e.must_check_all = check_all
+                if l2[b]:
+                    _blk, victim = fabric.l2.insert(addr, MESI.SHARED)
+                    assert victim is None, "model L2 must not overflow"
+        elif tag == "snoop":
+            fabric = self.fabric
+            assert isinstance(fabric, SnoopingFabric)
+            _tag, entries = fabric_state
+            fabric._owner.clear()
+            fabric._sharers.clear()
+            for b, addr in enumerate(self.block_addrs):
+                owner, sharers = entries[b]
+                if owner >= 0:
+                    fabric._owner[addr] = owner
+                if sharers:
+                    fabric._sharers[addr] = set(sharers)
+        else:
+            fabric = self.fabric
+            assert isinstance(fabric, MultiChipFabric)
+            _tag, chips, mems = fabric_state
+            for chip in range(self.cfg.num_chips):
+                rows, l2 = chips[chip]
+                self.fabric.l2s[chip].flush()
+                for b, addr in enumerate(self.block_addrs):
+                    rights, owner, sharers, sticky = rows[b]
+                    e = fabric.chip_entry_view(chip, addr)
+                    e.rights = rights
+                    e.owner = None if owner < 0 else owner
+                    e.sharers = set(sharers)
+                    e.sticky = set(sticky)
+                    if l2[b]:
+                        _blk, victim = fabric.l2s[chip].insert(
+                            addr, MESI.SHARED)
+                        assert victim is None, "model L2 must not overflow"
+            for b, addr in enumerate(self.block_addrs):
+                owner_chip, sharer_chips, sticky_chips = mems[b]
+                m = fabric.mem_entry_view(addr)
+                m.owner_chip = None if owner_chip < 0 else owner_chip
+                m.sharer_chips = set(sharer_chips)
+                m.sticky_chips = set(sticky_chips)

@@ -1,22 +1,40 @@
 """Fault injection for exercising the verification suite.
 
 A checker that has never caught a seeded bug is scenery. This module
-provides the seeded bugs: :class:`LossySignature` wraps a real signature
-and makes its *filter* lie by omission for selected blocks — the one
-failure mode the paper's signatures must never have (false negatives;
-Section 2). The exact shadow set stays truthful, so the
-:class:`~repro.verify.checkers.VerificationSuite`'s signature oracle can
-convict the filter with ground truth, and the downstream isolation and
-serializability checkers can demonstrate the actual data corruption the
-dropped NACK causes.
+provides the seeded bugs, at two levels:
+
+* :class:`LossySignature` wraps a real signature and makes its *filter*
+  lie by omission for selected blocks — the one failure mode the paper's
+  signatures must never have (false negatives; Section 2). The exact
+  shadow set stays truthful, so the
+  :class:`~repro.verify.checkers.VerificationSuite`'s signature oracle
+  can convict the filter with ground truth, and the downstream isolation
+  and serializability checkers can demonstrate the actual data
+  corruption the dropped NACK causes.
+
+* :func:`apply_protocol_mutation` re-introduces, behind a flag, each of
+  the three real protocol bugs that the dynamic-analysis suite exposed
+  and that were then fixed (``sticky-discharge``, ``eager-e-grant``,
+  ``no-scrub``). The mutants are verbatim resurrections of the
+  pre-fix logic, installed by monkeypatching a live fabric instance.
+  They exist to validate the model checker (:mod:`repro.mc`): a checker
+  that convicts all three known-real defects with counterexamples has
+  demonstrated it can see the class of bug it was built for.
 
 Test-only: nothing in the simulator proper imports this module.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable
+from types import MethodType
+from typing import Dict, FrozenSet, Iterable
 
+from repro.cache.block import MESI
+from repro.coherence.directory import DirectoryEntry, DirectoryFabric
+from repro.coherence.fabric import CoherenceFabric
+from repro.coherence.multichip import ChipEntry, MultiChipFabric
+from repro.coherence.snooping import SnoopingFabric
+from repro.common.errors import ConfigError
 from repro.signatures.base import Signature, Snapshot
 from repro.signatures.rwpair import ReadWriteSignature
 
@@ -115,3 +133,197 @@ def make_lossy(pair: ReadWriteSignature,
     return ReadWriteSignature(
         LossySignature(pair.read, drops),       # type: ignore[arg-type]
         LossySignature(pair.write, drops))      # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Protocol mutations: the three pre-fix bugs, resurrected behind flags
+# ---------------------------------------------------------------------------
+
+#: Mutation name -> one-line description (shown by ``repro mc --help``
+#: consumers and used to validate ``--mutate`` arguments).
+MUTATIONS: Dict[str, str] = {
+    "sticky-discharge": (
+        "a successful request discharges every sticky obligation on its "
+        "block, including cores whose signatures still cover it"),
+    "eager-e-grant": (
+        "GETS grants EXCLUSIVE whenever no cache holds the block, "
+        "ignoring standing sticky obligations / uncached signatures"),
+    "no-scrub": (
+        "freeing or reusing a physical frame does not invalidate cached "
+        "copies of its previous tenant"),
+}
+
+
+def _mutant_dir_sticky_discharge(
+        self: DirectoryFabric, requester_core: int, block_addr: int,
+        is_write: bool, entry: DirectoryEntry) -> MESI:
+    """Pre-fix ``DirectoryFabric._apply_grant``: on any successful
+    request, *all* sticky state is cleaned — including cores whose read
+    sets still cover the block and which therefore must keep being
+    checked by later writes."""
+    if entry.sticky:
+        self._c_sticky_clean.add(len(entry.sticky))
+        self.stats.emit("coh.sticky_clean", block=block_addr,
+                        cores=tuple(sorted(entry.sticky)))
+        entry.sticky.clear()
+    entry.must_check_all = False
+    if is_write:
+        entry.sharers.clear()
+        entry.owner = requester_core
+        return MESI.MODIFIED
+    if entry.owner is not None and entry.owner != requester_core:
+        entry.sharers.add(entry.owner)
+        entry.owner = None
+    if not entry.sharers and not entry.sticky:
+        entry.owner = requester_core
+        return MESI.EXCLUSIVE
+    entry.sharers.add(requester_core)
+    return MESI.SHARED
+
+
+def _mutant_dir_eager_e_grant(
+        self: DirectoryFabric, requester_core: int, block_addr: int,
+        is_write: bool, entry: DirectoryEntry) -> MESI:
+    """Pre-fix ``DirectoryFabric._apply_grant``: the E-grant test checks
+    only cache residency (``not entry.sharers``), so a requester can be
+    granted EXCLUSIVE while a sticky core's read set still covers the
+    block — its later silent E->M upgrade writes with no signature
+    check. The sticky-discharge rule itself is the fixed, selective one."""
+    if entry.sticky:
+        cleaned = {cid for cid in entry.sticky
+                   if cid == requester_core
+                   or not self._ports[cid].holds_transactional(block_addr)}
+        if cleaned:
+            self._c_sticky_clean.add(len(cleaned))
+            self.stats.emit("coh.sticky_clean", block=block_addr,
+                            cores=tuple(sorted(cleaned)))
+            entry.sticky -= cleaned
+    entry.must_check_all = False
+    if is_write:
+        entry.sharers.clear()
+        entry.owner = requester_core
+        return MESI.MODIFIED
+    if entry.owner is not None and entry.owner != requester_core:
+        entry.sharers.add(entry.owner)
+        entry.owner = None
+    if not entry.sharers:
+        entry.owner = requester_core
+        return MESI.EXCLUSIVE
+    entry.sharers.add(requester_core)
+    return MESI.SHARED
+
+
+def _mutant_snoop_eager_e_grant(
+        self: SnoopingFabric, requester_core: int,
+        block_addr: int, is_write: bool) -> MESI:
+    """Pre-fix ``SnoopingFabric._apply_grant``: E is granted on residency
+    exclusivity alone, without scanning other cores' signatures for
+    uncached (e.g. post-scrub) coverage."""
+    owner = self._owner.get(block_addr)
+    sharers = self._sharers.setdefault(block_addr, set())
+    if is_write:
+        sharers.clear()
+        self._owner[block_addr] = requester_core
+        return MESI.MODIFIED
+    if owner is not None and owner != requester_core:
+        sharers.add(owner)
+        self._owner[block_addr] = None
+    if not sharers:
+        self._owner[block_addr] = requester_core
+        return MESI.EXCLUSIVE
+    sharers.add(requester_core)
+    return MESI.SHARED
+
+
+def _mutant_chip_sticky_discharge(
+        self: MultiChipFabric, chip: int, requester_core: int,
+        block_addr: int, is_write: bool, entry: ChipEntry) -> MESI:
+    """Pre-fix ``MultiChipFabric._apply_chip_grant``: full sticky clean
+    on any grant (intra-chip analog of the directory bug)."""
+    if entry.sticky:
+        self._c_sticky_clean.add(len(entry.sticky))
+        entry.sticky.clear()
+    if is_write:
+        entry.sharers.clear()
+        entry.owner = requester_core
+        return MESI.MODIFIED
+    if entry.owner is not None and entry.owner != requester_core:
+        entry.sharers.add(entry.owner)
+        entry.owner = None
+    if not entry.sharers and not entry.sticky and entry.rights == "M":
+        entry.owner = requester_core
+        return MESI.EXCLUSIVE
+    entry.sharers.add(requester_core)
+    return MESI.SHARED
+
+
+def _mutant_chip_eager_e_grant(
+        self: MultiChipFabric, chip: int, requester_core: int,
+        block_addr: int, is_write: bool, entry: ChipEntry) -> MESI:
+    """Pre-fix ``MultiChipFabric._apply_chip_grant``: the E test ignores
+    sticky obligations (selective discharge itself is the fixed rule)."""
+    if entry.sticky:
+        cleaned = {cid for cid in entry.sticky
+                   if cid == requester_core
+                   or not self._ports[cid].holds_transactional(block_addr)}
+        if cleaned:
+            self._c_sticky_clean.add(len(cleaned))
+            entry.sticky -= cleaned
+    if is_write:
+        entry.sharers.clear()
+        entry.owner = requester_core
+        return MESI.MODIFIED
+    if entry.owner is not None and entry.owner != requester_core:
+        entry.sharers.add(entry.owner)
+        entry.owner = None
+    if not entry.sharers and entry.rights == "M":
+        entry.owner = requester_core
+        return MESI.EXCLUSIVE
+    entry.sharers.add(requester_core)
+    return MESI.SHARED
+
+
+def _mutant_no_scrub(self: CoherenceFabric, block_addr: int) -> None:
+    """Pre-fix behavior: the fabric had no scrub hook at all, so frame
+    free/reuse left stale copies in every cache and stale pointers in
+    every directory."""
+
+
+def apply_protocol_mutation(fabric: CoherenceFabric, name: str) -> None:
+    """Install one named pre-fix bug on a live fabric instance.
+
+    Raises :class:`ConfigError` for an unknown mutation or one that has
+    no meaning on this fabric (sticky states do not exist under
+    snooping). Instance-level monkeypatching keeps the sabotage scoped
+    to the one fabric under test.
+    """
+    if name not in MUTATIONS:
+        raise ConfigError(
+            f"unknown mutation {name!r}; choose from "
+            f"{sorted(MUTATIONS)}")
+    if name == "no-scrub":
+        setattr(fabric, "scrub_block", MethodType(_mutant_no_scrub, fabric))
+        return
+    if name == "sticky-discharge":
+        if isinstance(fabric, DirectoryFabric):
+            setattr(fabric, "_apply_grant",
+                    MethodType(_mutant_dir_sticky_discharge, fabric))
+        elif isinstance(fabric, MultiChipFabric):
+            setattr(fabric, "_apply_chip_grant",
+                    MethodType(_mutant_chip_sticky_discharge, fabric))
+        else:
+            raise ConfigError(
+                "sticky-discharge does not apply to snooping fabrics "
+                "(they have no sticky states)")
+        return
+    # eager-e-grant
+    if isinstance(fabric, DirectoryFabric):
+        setattr(fabric, "_apply_grant",
+                MethodType(_mutant_dir_eager_e_grant, fabric))
+    elif isinstance(fabric, SnoopingFabric):
+        setattr(fabric, "_apply_grant",
+                MethodType(_mutant_snoop_eager_e_grant, fabric))
+    else:
+        assert isinstance(fabric, MultiChipFabric)
+        setattr(fabric, "_apply_chip_grant",
+                MethodType(_mutant_chip_eager_e_grant, fabric))

@@ -20,9 +20,25 @@ recurring ways to write a *wrong* one are all statically visible:
     ``while True:`` without a ``yield`` (or ``break``/``return``/
     ``raise``) inside never returns control and hangs the run.
 
+``VR004`` **wall-clock read inside a thread program.** The simulator
+    has its own clock; ``time.time()`` / ``datetime.now()`` inside a
+    generator couples behaviour to host speed, so two runs of the same
+    seed diverge and cached sweep results stop being comparable.
+
+``VR005`` **iteration over an unordered set.** ``for x in some_set:``
+    visits elements in hash order, which varies with ``PYTHONHASHSEED``
+    and insertion history; if anything downstream depends on visit
+    order the run is irreproducible. Also covers ``dict`` iteration
+    when the dict's keys were inserted while looping over a set (the
+    insertion order — hence ``.keys()`` order — is already unordered).
+
 Suppression: append ``# lint: disable=VR001`` (comma-separate several
 ids, or omit the ``=`` part to disable all rules) to the offending line
 or the line directly above it.
+
+:mod:`repro.verify.selflint` reuses the VR004/VR005 machinery to hold
+the simulator's *own* sources to the same determinism bar
+(``repro lint --self``).
 
 The linter is pure stdlib (:mod:`ast` + :mod:`tokenize`): it runs in CI
 and pre-commit without importing the workload under analysis.
@@ -43,6 +59,9 @@ RULES: Dict[str, str] = {
     "VR001": "shared-memory write outside an atomic (locked) section",
     "VR002": "unseeded randomness (module-level random.* or bare Random())",
     "VR003": "generator contains an infinite loop that never yields",
+    "VR004": "wall-clock read (time.time()/datetime.now()) in a "
+             "thread program",
+    "VR005": "iteration over an unordered set (or a dict keyed from one)",
 }
 
 #: Op constructors that produce memory writes.
@@ -314,17 +333,31 @@ def _loop_escapes(loop: ast.While) -> bool:
     return False
 
 
+def _is_generator(func: ast.AST) -> bool:
+    """Whether a function definition is a generator (has a yield)."""
+    return any(
+        isinstance(n, (ast.Yield, ast.YieldFrom))
+        for n in _walk_scope(func))
+
+
+def _walk_scope(func: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
 def _check_vr003(tree: ast.Module, path: str) -> List[LintFinding]:
     findings: List[LintFinding] = []
     for func in ast.walk(tree):
         if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        is_generator = any(
-            isinstance(n, (ast.Yield, ast.YieldFrom))
-            for n in ast.walk(func)
-            if not isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
-            or n is func)
-        if not is_generator:
+        if not _is_generator(func):
             continue
         for node in ast.walk(func):
             if not isinstance(node, ast.While):
@@ -345,6 +378,188 @@ def _check_vr003(tree: ast.Module, path: str) -> List[LintFinding]:
     return findings
 
 
+#: ``time`` module attributes that read the host clock.
+_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "localtime",
+    "gmtime",
+})
+
+#: ``datetime``/``date`` class methods that read the host clock.
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _wallclock_call(node: ast.AST) -> Optional[str]:
+    """Label of a host-clock read (``time.time()``-style), or None."""
+    if not (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)):
+        return None
+    func = node.func
+    base = func.value
+    if isinstance(base, ast.Name):
+        if base.id == "time" and func.attr in _TIME_ATTRS:
+            return f"time.{func.attr}()"
+        if base.id in ("datetime", "date") and \
+                func.attr in _DATETIME_ATTRS:
+            return f"{base.id}.{func.attr}()"
+    if (isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "datetime"
+            and base.attr in ("datetime", "date")
+            and func.attr in _DATETIME_ATTRS):
+        return f"datetime.{base.attr}.{func.attr}()"
+    return None
+
+
+def _check_wallclock(tree: ast.Module, path: str,
+                     rule: str) -> List[LintFinding]:
+    """Wall-clock reads inside generator functions (thread programs /
+    simulation processes). Shared by VR004 and the self-lint's SR002."""
+    findings: List[LintFinding] = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_generator(func):
+            continue
+        for node in _walk_scope(func):
+            label = _wallclock_call(node)
+            if label is None:
+                continue
+            findings.append(LintFinding(
+                path=path, line=node.lineno, rule=rule,
+                message=(f"{label} reads the host clock inside a "
+                         "simulated process; behaviour then depends on "
+                         "host speed and two runs of the same seed "
+                         "diverge"),
+                fixit=("use simulated time (the scheduler's now / the "
+                       "stats clock), or hoist the measurement out of "
+                       "the generator")))
+    return findings
+
+
+def _check_vr004(tree: ast.Module, path: str) -> List[LintFinding]:
+    return _check_wallclock(tree, path, "VR004")
+
+
+def _set_like(expr: ast.AST, func: Optional[ast.AST],
+              depth: int = 0) -> bool:
+    """Conservatively decide whether an expression evaluates to a set.
+
+    Handles literals (``{a, b}``), constructors (``set(...)`` /
+    ``frozenset(...)``), set comprehensions, binary set algebra on
+    set-like operands, and local names assigned one of the above in the
+    enclosing function (flow-insensitive).
+    """
+    if depth > 4:
+        return False
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        call_func = expr.func
+        if isinstance(call_func, ast.Name) and \
+                call_func.id in ("set", "frozenset"):
+            return True
+        if isinstance(call_func, ast.Attribute) and call_func.attr in (
+                "union", "intersection", "difference",
+                "symmetric_difference"):
+            return _set_like(call_func.value, func, depth + 1)
+        return False
+    if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (_set_like(expr.left, func, depth + 1)
+                or _set_like(expr.right, func, depth + 1))
+    if isinstance(expr, ast.Name) and func is not None:
+        for node in _walk_scope(func):
+            if isinstance(node, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == expr.id
+                    for t in node.targets):
+                if _set_like(node.value, func, depth + 1):
+                    return True
+            elif (isinstance(node, ast.AnnAssign)
+                    and isinstance(node.target, ast.Name)
+                    and node.target.id == expr.id
+                    and node.value is not None):
+                if _set_like(node.value, func, depth + 1):
+                    return True
+    return False
+
+
+def _set_tainted_dicts(func: ast.AST) -> Set[str]:
+    """Local dict names whose keys were inserted while looping a set.
+
+    ``for k in some_set: d[k] = ...`` makes ``d``'s insertion order —
+    and therefore ``d``/``d.keys()`` iteration order — hash-dependent.
+    """
+    tainted: Set[str] = set()
+    for node in _walk_scope(func):
+        if not isinstance(node, ast.For) or \
+                not _set_like(node.iter, func):
+            continue
+        for inner in ast.walk(node):
+            target: Optional[ast.AST] = None
+            if isinstance(inner, ast.Assign) and inner.targets:
+                target = inner.targets[0]
+            elif isinstance(inner, ast.AugAssign):
+                target = inner.target
+            if isinstance(target, ast.Subscript) and \
+                    isinstance(target.value, ast.Name):
+                tainted.add(target.value.id)
+            elif (isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "setdefault"
+                    and isinstance(inner.func.value, ast.Name)):
+                tainted.add(inner.func.value.id)
+    return tainted
+
+
+def _check_set_iteration(tree: ast.Module, path: str, rule: str,
+                         generators_only: bool) -> List[LintFinding]:
+    """``for`` statements iterating a set (or a set-keyed dict).
+
+    Shared by VR005 (any function in a workload module) and the
+    self-lint's SR003 (generator functions — simulation processes —
+    only). Comprehensions are deliberately exempt: they almost always
+    feed order-insensitive reductions (``max``, ``sum``, ``any``).
+    """
+    findings: List[LintFinding] = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if generators_only and not _is_generator(func):
+            continue
+        tainted = _set_tainted_dicts(func)
+        for node in _walk_scope(func):
+            if not isinstance(node, ast.For):
+                continue
+            it = node.iter
+            bad: Optional[str] = None
+            if _set_like(it, func):
+                bad = "a set"
+            elif (isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Attribute)
+                    and it.func.attr in ("keys", "values", "items")
+                    and isinstance(it.func.value, ast.Name)
+                    and it.func.value.id in tainted):
+                bad = (f"dict '{it.func.value.id}' keyed from a set "
+                       f"(via .{it.func.attr}())")
+            elif isinstance(it, ast.Name) and it.id in tainted:
+                bad = f"dict '{it.id}' keyed from a set"
+            if bad is None:
+                continue
+            findings.append(LintFinding(
+                path=path, line=node.lineno, rule=rule,
+                message=(f"iterating {bad}: visit order is hash- and "
+                         "insertion-dependent, so anything downstream "
+                         "that depends on it varies across runs"),
+                fixit="iterate sorted(...) instead"))
+    return findings
+
+
+def _check_vr005(tree: ast.Module, path: str) -> List[LintFinding]:
+    return _check_set_iteration(tree, path, "VR005",
+                                generators_only=False)
+
+
 # ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
@@ -361,6 +576,8 @@ def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
     findings.extend(_check_vr001(tree, path))
     findings.extend(_check_vr002(tree, path))
     findings.extend(_check_vr003(tree, path))
+    findings.extend(_check_vr004(tree, path))
+    findings.extend(_check_vr005(tree, path))
     supp = _suppressions(source)
     kept = [f for f in findings if not _is_suppressed(f, supp)]
     kept.sort(key=lambda f: (f.path, f.line, f.rule))

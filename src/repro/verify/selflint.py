@@ -1,0 +1,131 @@
+"""Determinism self-lint for the simulator's own sources.
+
+``repro lint`` holds *workloads* to a reproducibility bar; this module
+(``repro lint --self``) holds ``src/repro`` itself to the same bar. The
+simulator's claim — same seed, same config, same result, byte for byte
+— is what makes the sweep cache sound, golden traces diffable, and the
+model checker's replays meaningful. Three source patterns silently
+break it:
+
+``SR001`` **unseeded randomness.** Any call into the ``random``
+    module's global functions, or a bare ``random.Random()``, anywhere
+    in simulator source. Everything stochastic must derive from an
+    explicit seed.
+
+``SR002`` **wall-clock read inside a simulation process.** Generator
+    functions are (potentially) scheduler-driven processes; reading
+    ``time.time()`` / ``datetime.now()`` inside one couples simulated
+    behaviour to host speed. Timing *around* a simulation — e.g. the
+    sweep harness measuring wall time in plain functions — is fine and
+    not flagged.
+
+``SR003`` **unordered-collection iteration inside a simulation
+    process.** A ``for`` statement over a ``set`` (or a dict keyed
+    while looping a set) inside a generator visits elements in hash
+    order; if the loop body has side effects (messages, NACK order,
+    stat increments), runs diverge across hash seeds. Comprehensions
+    are exempt — they overwhelmingly feed order-insensitive reductions.
+
+Suppression uses the same comment syntax as the workload lint
+(``# lint: disable=SR003``). The checks reuse the workload linter's
+AST machinery (:mod:`repro.verify.lint`), so the two lints cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.verify.lint import (LintFinding, _check_set_iteration,
+                               _check_wallclock, _is_suppressed,
+                               _suppressions)
+
+#: rule id -> one-line description (the ``--self`` catalog).
+SELF_RULES: Dict[str, str] = {
+    "SR000": "file does not parse",
+    "SR001": "unseeded randomness in simulator source",
+    "SR002": "wall-clock read inside a simulation process (generator)",
+    "SR003": "unordered-set iteration inside a simulation process",
+}
+
+
+def _check_sr001(tree: ast.Module, path: str) -> List[LintFinding]:
+    """Module-level ``random.*`` calls and bare ``random.Random()``.
+
+    Same surface as the workload lint's VR002, but phrased for
+    simulator code (derive from the run seed, not a workload rng).
+    """
+    findings: List[LintFinding] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"):
+            continue
+        attr = node.func.attr
+        if attr == "Random":
+            if node.args or node.keywords:
+                continue  # seeded constructor: fine
+            message = "random.Random() without a seed is irreproducible"
+        else:
+            message = (f"random.{attr}() uses the shared module-level "
+                       "RNG; simulator behaviour must derive from the "
+                       "run seed")
+        findings.append(LintFinding(
+            path=path, line=node.lineno, rule="SR001", message=message,
+            fixit="construct random.Random(<run seed> ^ <salt>) and "
+                  "thread it through"))
+    return findings
+
+
+def selflint_source(source: str,
+                    path: str = "<string>") -> List[LintFinding]:
+    """Self-lint one module's source; returns unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path=path, line=exc.lineno or 1,
+                            rule="SR000",
+                            message=f"syntax error: {exc.msg}",
+                            fixit="fix the syntax error")]
+    findings: List[LintFinding] = []
+    findings.extend(_check_sr001(tree, path))
+    findings.extend(_check_wallclock(tree, path, "SR002"))
+    findings.extend(_check_set_iteration(tree, path, "SR003",
+                                         generators_only=True))
+    supp = _suppressions(source)
+    kept = [f for f in findings if not _is_suppressed(f, supp)]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+def selflint_file(path: str) -> List[LintFinding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return selflint_source(handle.read(), path)
+
+
+def selflint_paths(
+        paths: Optional[Sequence[str]] = None) -> List[LintFinding]:
+    """Self-lint files/directories; default target is ``repro`` itself."""
+    if not paths:
+        import repro
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            files.append(path)
+    findings: List[LintFinding] = []
+    for filename in files:
+        findings.extend(selflint_file(filename))
+    return findings
+
+
+__all__ = ["SELF_RULES", "selflint_file", "selflint_paths",
+           "selflint_source"]

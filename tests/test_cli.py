@@ -127,3 +127,88 @@ class TestSweepCommand:
         sweep = SweepResult.from_dict(json.loads(capsys.readouterr().out))
         assert sweep.baseline_label == "Perfect"
         assert sweep.speedup("Perfect") == pytest.approx(1.0)
+
+
+class TestLintCommand:
+    def test_clean_paths_exit_zero(self, tmp_path, capsys):
+        good = tmp_path / "wl.py"
+        good.write_text("def p(self, i, rng):\n"
+                        "    yield Section(ops=[], lock=self.l)\n")
+        assert main(["lint", str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "wl.py"
+        bad.write_text("def p(self, i, rng):\n"
+                       "    yield Section(ops=[Op.incr(self.w)])\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "VR001" in capsys.readouterr().out
+
+    def test_format_json(self, tmp_path, capsys):
+        bad = tmp_path / "wl.py"
+        bad.write_text("def p(self, i, rng):\n"
+                       "    t = time.time()\n"
+                       "    yield 1\n")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in findings] == ["VR004"]
+        assert findings[0]["path"].endswith("wl.py")
+
+    def test_format_json_clean_is_empty_list(self, tmp_path, capsys):
+        good = tmp_path / "wl.py"
+        good.write_text("x = 1\n")
+        assert main(["lint", "--format", "json", str(good)]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_self_lint_on_simulator_source_is_clean(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_self_lint_explicit_path(self, tmp_path, capsys):
+        bad = tmp_path / "proc.py"
+        bad.write_text("def run(self):\n"
+                       "    t = time.time()\n"
+                       "    yield 1\n")
+        assert main(["lint", "--self", "--format", "json",
+                     str(bad)]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in findings] == ["SR002"]
+
+
+class TestMcCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["mc", "--fabric", "directory",
+                     "--state-cap", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "200 states" in out
+
+    def test_violation_exits_one_with_counterexample(self, capsys):
+        assert main(["mc", "--fabric", "snooping", "--mutate",
+                     "no-scrub", "--state-cap", "500"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION: frame-tenancy" in out
+        assert "counterexample (2 steps)" in out
+
+    def test_json_output(self, capsys):
+        assert main(["--json", "mc", "--fabric", "directory",
+                     "--mutate", "no-scrub", "--state-cap", "500"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["clean"] is False
+        assert data["violation"]["invariant"] == "frame-tenancy"
+        assert data["counterexample"]["length"] == 2
+
+    def test_dump_writes_counterexample(self, tmp_path, capsys):
+        out = tmp_path / "cx.json"
+        assert main(["mc", "--fabric", "directory", "--mutate",
+                     "no-scrub", "--state-cap", "500",
+                     "--dump", str(out)]) == 1
+        data = json.loads(out.read_text())
+        assert data["invariant"] == "frame-tenancy"
+
+    def test_unknown_mutation_exits_two(self, capsys):
+        assert main(["mc", "--mutate", "bogus"]) == 2
+        assert "unknown mutation" in capsys.readouterr().err
+
+    def test_invalid_config_exits_two(self, capsys):
+        assert main(["mc", "--cores", "9"]) == 2

@@ -158,6 +158,214 @@ class TestVR003NonYieldingLoop:
         assert findings == []
 
 
+class TestVR004WallClock:
+    def test_time_time_in_generator_flagged(self):
+        findings = lint("""
+            def program(self, i, rng):
+                start = time.time()
+                yield Section(ops=[], lock=self.lock)
+        """)
+        assert rules_of(findings) == ["VR004"]
+        assert "host clock" in findings[0].message
+
+    def test_datetime_now_flagged(self):
+        findings = lint("""
+            def program(self, i, rng):
+                stamp = datetime.datetime.now()
+                yield 1
+        """)
+        assert rules_of(findings) == ["VR004"]
+
+    def test_bare_datetime_module_form_flagged(self):
+        findings = lint("""
+            def program(self, i, rng):
+                stamp = datetime.now()
+                yield 1
+        """)
+        assert rules_of(findings) == ["VR004"]
+
+    def test_perf_counter_flagged(self):
+        findings = lint("""
+            def program(self, i, rng):
+                t0 = time.perf_counter()
+                yield 1
+        """)
+        assert rules_of(findings) == ["VR004"]
+
+    def test_non_generator_is_exempt(self):
+        """Timing around a simulation (harness code) is legitimate."""
+        findings = lint("""
+            def measure(run):
+                t0 = time.time()
+                run()
+                return time.time() - t0
+        """)
+        assert findings == []
+
+    def test_nested_helper_not_attributed_to_generator(self):
+        findings = lint("""
+            def program(self, i, rng):
+                def fmt():
+                    return time.time()
+                yield 1
+        """)
+        assert findings == []  # the nested def is not itself a generator
+
+    def test_time_sleep_is_not_a_clock_read(self):
+        findings = lint("""
+            def program(self, i, rng):
+                time.sleep(0)
+                yield 1
+        """)
+        assert findings == []
+
+
+class TestVR005SetIteration:
+    def test_set_literal_iteration_flagged(self):
+        findings = lint("""
+            def build(self):
+                for b in {1, 2, 3}:
+                    self.use(b)
+        """)
+        assert rules_of(findings) == ["VR005"]
+        assert "sorted" in findings[0].fixit
+
+    def test_local_set_name_flagged(self):
+        findings = lint("""
+            def build(self):
+                blocks = set(self.addrs)
+                for b in blocks:
+                    self.use(b)
+        """)
+        assert rules_of(findings) == ["VR005"]
+
+    def test_set_algebra_flagged(self):
+        findings = lint("""
+            def build(self, a, b):
+                shared = set(a) & set(b)
+                for x in shared:
+                    self.use(x)
+        """)
+        assert rules_of(findings) == ["VR005"]
+
+    def test_dict_keyed_from_set_flagged(self):
+        findings = lint("""
+            def build(self):
+                d = {}
+                for b in set(self.addrs):
+                    d[b] = 1
+                for k in d.keys():
+                    self.use(k)
+        """)
+        assert rules_of(findings) == ["VR005", "VR005"]
+
+    def test_sorted_iteration_is_clean(self):
+        findings = lint("""
+            def build(self):
+                for b in sorted({1, 2, 3}):
+                    self.use(b)
+        """)
+        assert findings == []
+
+    def test_list_iteration_is_clean(self):
+        findings = lint("""
+            def build(self):
+                for b in [1, 2, 3]:
+                    self.use(b)
+        """)
+        assert findings == []
+
+    def test_comprehension_over_set_is_exempt(self):
+        """Comprehensions feed order-insensitive reductions."""
+        findings = lint("""
+            def build(self):
+                return max(x for x in {1, 2, 3})
+        """)
+        assert findings == []
+
+
+class TestSelfLint:
+    def lint_self(self, snippet):
+        import textwrap
+
+        from repro.verify.selflint import selflint_source
+        return selflint_source(textwrap.dedent(snippet), path="sim.py")
+
+    def test_sr001_unseeded_random(self):
+        findings = self.lint_self("""
+            def pick(self):
+                return random.randrange(4)
+        """)
+        assert rules_of(findings) == ["SR001"]
+
+    def test_sr001_seeded_random_clean(self):
+        findings = self.lint_self("""
+            def __init__(self, seed):
+                self.rng = random.Random(seed)
+        """)
+        assert findings == []
+
+    def test_sr002_wallclock_in_process(self):
+        findings = self.lint_self("""
+            def run(self):
+                t0 = time.time()
+                yield self.lock.acquire()
+        """)
+        assert rules_of(findings) == ["SR002"]
+
+    def test_sr002_wallclock_in_plain_function_clean(self):
+        """The sweep harness timing wall-clock is legitimate: only
+        scheduler-driven generators are held to simulated time."""
+        findings = self.lint_self("""
+            def run_parallel_sweep(variants):
+                t0 = time.perf_counter()
+                return time.perf_counter() - t0
+        """)
+        assert findings == []
+
+    def test_sr003_set_iteration_in_process(self):
+        findings = self.lint_self("""
+            def request(self, targets):
+                pending = set(targets)
+                for t in pending:
+                    yield self.network.send(t)
+        """)
+        assert rules_of(findings) == ["SR003"]
+
+    def test_sr003_plain_function_exempt(self):
+        findings = self.lint_self("""
+            def summarize(self, targets):
+                out = []
+                for t in set(targets):
+                    out.append(t)
+                return out
+        """)
+        assert findings == []
+
+    def test_sr_suppression(self):
+        findings = self.lint_self("""
+            def run(self):
+                t0 = time.time()  # lint: disable=SR002
+                yield 1
+        """)
+        assert findings == []
+
+    def test_simulator_source_passes_self_lint(self):
+        import repro
+        from repro.verify.selflint import selflint_paths
+        pkg_dir = os.path.dirname(repro.__file__)
+        findings = selflint_paths([pkg_dir])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_self_rules_catalog(self):
+        from repro.verify.selflint import SELF_RULES
+        assert set(SELF_RULES) == {"SR000", "SR001", "SR002", "SR003"}
+
+    def test_sr000_syntax_error(self):
+        findings = self.lint_self("def broken(:\n")
+        assert rules_of(findings) == ["SR000"]
+
+
 class TestVR000AndSuppressions:
     def test_syntax_error_reports_vr000(self):
         findings = lint("def broken(:\n")
@@ -217,7 +425,8 @@ class TestVR000AndSuppressions:
 
 class TestEntryPoints:
     def test_rules_catalog_is_complete(self):
-        assert set(RULES) == {"VR000", "VR001", "VR002", "VR003"}
+        assert set(RULES) == {"VR000", "VR001", "VR002", "VR003",
+                              "VR004", "VR005"}
 
     def test_lint_paths_walks_directories(self, tmp_path):
         pkg = tmp_path / "pkg"
