@@ -2,7 +2,8 @@
 
 Scale control: set ``REPRO_BENCH_SCALE=quick`` for a fast smoke pass
 (8 threads, few units) or ``full`` (default) for the paper's 32-context
-machine with enough work for stable shapes.
+machine with enough work for stable shapes. The names match the pinned
+scales of the tracked suite (``repro bench``; see docs/performance.md).
 
 Parallelism: grid experiments (Table 3, Figure 4) fan their cells out
 over ``REPRO_BENCH_JOBS`` worker processes (default: one per CPU at FULL
@@ -12,19 +13,32 @@ workers). Results are identical either way; see docs/harness.md.
 Every benchmark prints the regenerated table/figure rows — run with
 ``pytest benchmarks/ --benchmark-only -s`` to see them inline; they are
 also echoed into the benchmark's ``extra_info``.
+
+Measurement goes through the same entry point as ``repro bench``: the
+wall time of each run is normalized into a
+:class:`repro.perf.schema.BenchMeasurement` and attached to the
+pytest-benchmark ``extra_info`` under ``"perf"``, so exported
+pytest-benchmark JSON and the tracked ``BENCH_*.json`` trajectory share
+one schema (fields and rate derivations, see docs/performance.md).
 """
 
 import os
+import time
 
 import pytest
 
 from repro.harness.experiments import FULL, QUICK, ExperimentScale
+from repro.perf.schema import BenchMeasurement
 
 
 def bench_scale() -> ExperimentScale:
     if os.environ.get("REPRO_BENCH_SCALE", "full").lower() == "quick":
         return QUICK
     return FULL
+
+
+def bench_scale_name() -> str:
+    return "quick" if bench_scale() is QUICK else "full"
 
 
 def bench_jobs() -> int:
@@ -47,6 +61,18 @@ def jobs() -> int:
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              rounds=1, iterations=1, warmup_rounds=0)
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The wall measurement is also recorded as a ``repro.perf`` schema
+    measurement in ``extra_info["perf"]`` — the same shape ``repro bench``
+    writes — so downstream tooling reads one format for both harnesses.
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1, warmup_rounds=0)
+    wall = time.perf_counter() - start
+    measurement = BenchMeasurement.from_totals(
+        label="pytest", wall_seconds=wall,
+        extra={"scale": bench_scale_name(), "source": "pytest-benchmark"})
+    benchmark.extra_info["perf"] = measurement.to_dict()
+    return result

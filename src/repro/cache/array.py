@@ -18,6 +18,9 @@ from repro.cache.block import CacheBlock, MESI
 class CacheArray:
     """Tag array: ``num_sets`` sets of ``associativity`` ways, LRU."""
 
+    __slots__ = ("cfg", "name", "_sets", "_use_clock", "_block_shift",
+                 "_set_mask", "hits", "misses", "evictions")
+
     def __init__(self, cfg: CacheConfig, name: str = "cache") -> None:
         self.cfg = cfg
         self.name = name
@@ -36,7 +39,8 @@ class CacheArray:
     def lookup(self, block_addr: int, touch: bool = True
                ) -> Optional[CacheBlock]:
         """Find a resident block (hit/miss counters updated)."""
-        block = self._sets[self.set_index(block_addr)].get(block_addr)
+        block = self._sets[(block_addr >> self._block_shift)
+                           & self._set_mask].get(block_addr)
         if block is None:
             self.misses += 1
             return None
@@ -48,7 +52,8 @@ class CacheArray:
 
     def peek(self, block_addr: int) -> Optional[CacheBlock]:
         """Find a resident block without disturbing LRU or counters."""
-        return self._sets[self.set_index(block_addr)].get(block_addr)
+        return self._sets[(block_addr >> self._block_shift)
+                          & self._set_mask].get(block_addr)
 
     def insert(self, block_addr: int, state: MESI
                ) -> Tuple[CacheBlock, Optional[CacheBlock]]:

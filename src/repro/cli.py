@@ -14,6 +14,8 @@ a script::
         --bits 2048
     python -m repro run SharedCounter --threads 8 --verify
     python -m repro sweep Mp3d --mode sizes --sizes 64 2048 --jobs 4
+    python -m repro bench --check
+    python -m repro bench --suite fig4_cell --label after-tuning
     python -m repro trace SharedCounter --threads 4 --out counter.trace.json
     python -m repro lint
     python -m repro lint --self --format json
@@ -248,6 +250,52 @@ def _cmd_mc(args) -> int:
     return 0 if result.clean else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro import perf
+
+    names = args.suite or list(perf.SUITE)
+    if args.report:
+        records = perf.load_records(args.out_dir, names)
+        if not records:
+            print(f"no BENCH_*.json records in {args.out_dir!r}; "
+                  "run `repro bench` first", file=sys.stderr)
+            return 2
+        if args.json:
+            return _emit_json({name: record.to_dict()
+                               for name, record in records.items()})
+        print(perf.render_trajectory(records))
+        return 0
+    outcome = perf.run_suite(names=names, scale=args.scale,
+                             label=args.label, out_dir=args.out_dir,
+                             write=not args.no_write, check=args.check)
+    if args.json:
+        payload = {
+            "measurements": {name: m.to_dict()
+                             for name, m in outcome.measurements.items()},
+            "regressions": {name: dataclasses.asdict(r)
+                            for name, r in outcome.regressions.items()},
+            "written": outcome.written,
+            "exit_code": outcome.exit_code if args.check else 0,
+        }
+        _emit_json(payload)
+        return outcome.exit_code if args.check else 0
+    for name in names:
+        m = outcome.measurements[name]
+        print(f"{name:<18} {m.wall_seconds:8.3f}s  "
+              f"cycles/s={m.cycles_per_second:>13,.0f}  "
+              f"aborts/s={m.aborts_per_second:>9,.0f}  "
+              f"cells/min={m.cells_per_minute:>8,.1f}  "
+              f"events/s={m.events_per_second:>11,.0f}")
+    for path in outcome.written:
+        print(f"wrote {path}")
+    if args.check:
+        for report in outcome.regressions.values():
+            for message in report.messages:
+                print(message)
+        return outcome.exit_code
+    return 0
+
+
 #: sweep --mode choices: how the variant family is built.
 SWEEP_MODES = ("designs", "sizes", "figure4")
 
@@ -462,6 +510,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the counterexample (if any) as JSON to "
                         "this path")
     p.set_defaults(fn=_cmd_mc)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure the pinned benchmark suite; track BENCH_*.json")
+    p.add_argument("--suite", nargs="+", default=None,
+                   choices=["fig4_cell", "fig3_signatures",
+                            "table3_conflict", "engine_stress"],
+                   help="cases to run (default: all four)")
+    p.add_argument("--scale", choices=["quick", "full"], default="full",
+                   help="pinned case size; the committed trajectory is "
+                        "measured at full (default: full)")
+    p.add_argument("--label", default="measured",
+                   help="trajectory-entry label (re-measuring the tail "
+                        "label replaces it; default: measured)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory holding the BENCH_*.json records "
+                        "(default: the current directory)")
+    p.add_argument("--check", action="store_true",
+                   help="compare against the committed trajectory: exit 1 "
+                        "on >30%% slowdown, exit 2 on >2x or on a result-"
+                        "digest mismatch")
+    p.add_argument("--no-write", action="store_true",
+                   help="measure (and --check) without updating the "
+                        "BENCH_*.json files")
+    p.add_argument("--report", action="store_true",
+                   help="render the committed trajectory tables and exit "
+                        "(no measurement)")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(
         "sweep",

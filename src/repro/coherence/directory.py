@@ -27,7 +27,6 @@ Request walkthrough (GETM from core R):
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.cache.array import CacheArray
@@ -95,6 +94,11 @@ class DirectoryFabric(CoherenceFabric):
         self._c_l2_evict_tx = stats.counter("victimization.l2_tx")
         self._c_l1_evict_tx = stats.counter("victimization.l1_tx")
         self._c_mem = stats.counter("coherence.memory_fetches")
+        # Fixed latencies, hoisted off the per-request path (SystemConfig
+        # is immutable for the lifetime of the fabric).
+        self._dir_latency = cfg.directory_latency
+        self._l2_latency = cfg.l2.latency
+        self._mem_latency = cfg.memory_latency
 
     def _entry(self, block_addr: int) -> DirectoryEntry:
         entry = self._entries.get(block_addr)
@@ -110,17 +114,6 @@ class DirectoryFabric(CoherenceFabric):
     # ------------------------------------------------------------------
     # L2 / memory access
     # ------------------------------------------------------------------
-
-    def _l2_access(self, block_addr: int):
-        """Charge L2 hit or memory fetch latency; handle L2 victimization."""
-        if self.l2.lookup(block_addr) is not None:
-            yield self.cfg.l2.latency
-            return
-        self._c_mem.add()
-        yield self.cfg.memory_latency
-        _block, victim = self.l2.insert(block_addr, MESI.SHARED)
-        if victim is not None:
-            self._l2_victimized(victim.addr)
 
     def _l2_victimized(self, victim_addr: int) -> None:
         """An L2 replacement dropped this block's directory information.
@@ -183,15 +176,17 @@ class DirectoryFabric(CoherenceFabric):
         """
         sticky_set = set(sticky_cores)
         blockers: List[Blocker] = []
+        ports = self._ports
+        c_fwd = self._c_fwd
         for core_id in sorted(set(cores)):
             if core_id == requester_core:
                 # Same-core (SMT sibling) conflicts are detected at access
                 # time by the core itself, before the miss is issued.
                 continue
-            port = self._ports.get(core_id)
+            port = ports.get(core_id)
             if port is None:
                 continue
-            self._c_fwd.add()
+            c_fwd.value += 1
             found = port.check_conflicts(
                 block_addr, is_write, exclude_thread=requester_thread,
                 asid=asid, requester_ts=requester_ts)
@@ -200,7 +195,9 @@ class DirectoryFabric(CoherenceFabric):
                        else "sticky" if core_id in sticky_set
                        else "targeted")
                 if via != "targeted":
-                    found = [replace(b, via=via) for b in found]
+                    found = [Blocker(b.core_id, b.thread_id,
+                                     b.timestamp, b.false_positive, via)
+                             for b in found]
                 blockers.extend(found)
             elif is_write:
                 port.invalidate_block(block_addr)
@@ -215,64 +212,70 @@ class DirectoryFabric(CoherenceFabric):
     def request(self, requester_core: int, requester_thread: int,
                 requester_ts: Optional[Timestamp], block_addr: int,
                 is_write: bool, asid: int):
+        # The locked request body is inlined here rather than delegated to a
+        # helper generator: this frame is resumed for every yield of every
+        # coherence transaction, and each extra frame in the ``yield from``
+        # chain is traversed on every resume.
         entry = self._entry(block_addr)
         yield from entry.lock.acquire()
         try:
-            result = yield from self._request_locked(
-                requester_core, requester_thread, requester_ts,
-                block_addr, is_write, asid, entry)
-            return result
+            self._c_requests.value += 1
+            if self.stats.recorder is not None:
+                self.stats.emit("coh.request", block=block_addr,
+                                core=requester_core, thread=requester_thread,
+                                write=is_write)
+            bank = self.amap.bank_of(block_addr)
+            msg = "GETM" if is_write else "GETS"
+            yield self.network.core_to_bank(requester_core, bank, msg)
+            yield self._dir_latency
+
+            if entry.lost_info or entry.must_check_all:
+                blockers = yield from self._broadcast_check(
+                    requester_core, requester_thread, requester_ts,
+                    block_addr, is_write, asid, entry, bank)
+            else:
+                blockers = yield from self._targeted_check(
+                    requester_core, requester_thread, requester_ts,
+                    block_addr, is_write, asid, entry, bank)
+
+            if blockers:
+                # NACK determination needs only directory state and remote
+                # signature checks — no L2 data-array or DRAM access — so a
+                # NACKed request occupies the directory entry only briefly.
+                self._c_nacks.value += 1
+                if self.stats.recorder is not None:
+                    self.stats.emit(
+                        "coh.nack", block=block_addr, core=requester_core,
+                        thread=requester_thread,
+                        blockers=tuple((b.thread_id, b.false_positive, b.via)
+                                       for b in blockers))
+                yield self.network.bank_to_core(bank, requester_core, "NACK")
+                return CoherenceResult(granted=False, blockers=blockers)
+
+            # L2 / memory access, inlined from ``_l2_access`` for the same
+            # frame-depth reason.
+            if self.l2.lookup(block_addr) is not None:
+                yield self._l2_latency
+            else:
+                self._c_mem.value += 1
+                yield self._mem_latency
+                _block, victim = self.l2.insert(block_addr, MESI.SHARED)
+                if victim is not None:
+                    self._l2_victimized(victim.addr)
+            yield self.network.bank_to_core(bank, requester_core, "DATA")
+            # Apply the grant *after* the final yield: the requester resumes
+            # in the same simulation event, so its L1 install is atomic with
+            # this directory-state update (no window for a competing
+            # request).
+            grant_state = self._apply_grant(requester_core, block_addr,
+                                            is_write, entry)
+            if self.stats.recorder is not None:
+                self.stats.emit("coh.grant", block=block_addr,
+                                core=requester_core, thread=requester_thread,
+                                write=is_write, state=grant_state.name)
+            return CoherenceResult(granted=True, grant_state=grant_state)
         finally:
             entry.lock.release()
-
-    def _request_locked(self, requester_core: int, requester_thread: int,
-                        requester_ts: Optional[Timestamp], block_addr: int,
-                        is_write: bool, asid: int, entry: DirectoryEntry):
-        self._c_requests.add()
-        if self.stats.recorder is not None:
-            self.stats.emit("coh.request", block=block_addr,
-                            core=requester_core, thread=requester_thread,
-                            write=is_write)
-        bank = self.amap.bank_of(block_addr)
-        msg = "GETM" if is_write else "GETS"
-        yield self.network.core_to_bank(requester_core, bank, msg)
-        yield self.cfg.directory_latency
-
-        if entry.lost_info or entry.must_check_all:
-            blockers = yield from self._broadcast_check(
-                requester_core, requester_thread, requester_ts,
-                block_addr, is_write, asid, entry, bank)
-        else:
-            blockers = yield from self._targeted_check(
-                requester_core, requester_thread, requester_ts,
-                block_addr, is_write, asid, entry, bank)
-
-        if blockers:
-            # NACK determination needs only directory state and remote
-            # signature checks — no L2 data-array or DRAM access — so a
-            # NACKed request occupies the directory entry only briefly.
-            self._c_nacks.add()
-            if self.stats.recorder is not None:
-                self.stats.emit(
-                    "coh.nack", block=block_addr, core=requester_core,
-                    thread=requester_thread,
-                    blockers=tuple((b.thread_id, b.false_positive, b.via)
-                                   for b in blockers))
-            yield self.network.bank_to_core(bank, requester_core, "NACK")
-            return CoherenceResult(granted=False, blockers=blockers)
-
-        yield from self._l2_access(block_addr)
-        yield self.network.bank_to_core(bank, requester_core, "DATA")
-        # Apply the grant *after* the final yield: the requester resumes in
-        # the same simulation event, so its L1 install is atomic with this
-        # directory-state update (no window for a competing request).
-        grant_state = self._apply_grant(requester_core, block_addr,
-                                        is_write, entry)
-        if self.stats.recorder is not None:
-            self.stats.emit("coh.grant", block=block_addr,
-                            core=requester_core, thread=requester_thread,
-                            write=is_write, state=grant_state.name)
-        return CoherenceResult(granted=True, grant_state=grant_state)
 
     def _broadcast_check(self, requester_core: int, requester_thread: int,
                          requester_ts: Optional[Timestamp], block_addr: int,

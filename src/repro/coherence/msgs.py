@@ -11,7 +11,6 @@ conflict-resolution policy and for Table 3's accounting.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.cache.block import MESI
@@ -20,19 +19,30 @@ from repro.cache.block import MESI
 Timestamp = Tuple[int, int]
 
 
-@dataclass(frozen=True)
 class Blocker:
-    """One thread context whose signature NACKed a request."""
+    """One thread context whose signature NACKed a request.
 
-    core_id: int
-    thread_id: int                 # global thread-context id
-    timestamp: Optional[Timestamp]  # None for a non-transactional blocker
-    false_positive: bool            # the signature hit had no real overlap
-    #: How the conflict check reached this blocker: a "targeted" forward
-    #: from precise directory state, a "sticky" forward from a stale
-    #: post-victimization state, or a lost-info "broadcast". Feeds abort
-    #: attribution (sticky/capacity categories).
-    via: str = "targeted"
+    A slotted value object (constructed once per NACKing context on the
+    protocol hot path, hence not a dataclass): treat instances as frozen.
+    """
+
+    __slots__ = ("core_id", "thread_id", "timestamp", "false_positive", "via")
+
+    def __init__(self, core_id: int, thread_id: int,
+                 timestamp: Optional[Timestamp], false_positive: bool,
+                 via: str = "targeted") -> None:
+        self.core_id = core_id
+        #: Global thread-context id.
+        self.thread_id = thread_id
+        #: None for a non-transactional blocker.
+        self.timestamp = timestamp
+        #: The signature hit had no real overlap.
+        self.false_positive = false_positive
+        #: How the conflict check reached this blocker: a "targeted" forward
+        #: from precise directory state, a "sticky" forward from a stale
+        #: post-victimization state, or a lost-info "broadcast". Feeds abort
+        #: attribution (sticky/capacity categories).
+        self.via = via
 
     def older_than(self, ts: Optional[Timestamp]) -> bool:
         """Whether this blocker's transaction began before ``ts``."""
@@ -42,15 +52,42 @@ class Blocker:
             return True
         return self.timestamp < ts
 
+    def _key(self):
+        return (self.core_id, self.thread_id, self.timestamp,
+                self.false_positive, self.via)
 
-@dataclass
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Blocker):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"Blocker(core_id={self.core_id}, "
+                f"thread_id={self.thread_id}, timestamp={self.timestamp}, "
+                f"false_positive={self.false_positive}, via={self.via!r})")
+
+
 class CoherenceResult:
-    """Outcome of one coherence request attempt."""
+    """Outcome of one coherence request attempt.
 
-    granted: bool
-    grant_state: MESI = MESI.INVALID   # state the requester may install
-    blockers: List[Blocker] = field(default_factory=list)
-    latency: int = 0                   # cycles charged (informational)
+    Slotted plain class: one is built per request attempt, which makes it
+    the second-hottest allocation in the machine after Blocker.
+    """
+
+    __slots__ = ("granted", "grant_state", "blockers", "latency")
+
+    def __init__(self, granted: bool, grant_state: MESI = MESI.INVALID,
+                 blockers: Optional[List[Blocker]] = None,
+                 latency: int = 0) -> None:
+        self.granted = granted
+        #: State the requester may install.
+        self.grant_state = grant_state
+        self.blockers = [] if blockers is None else blockers
+        #: Cycles charged (informational).
+        self.latency = latency
 
     @property
     def nacked(self) -> bool:
@@ -61,6 +98,19 @@ class CoherenceResult:
         """The whole NACK was due to signature aliasing (no real conflict)."""
         return bool(self.blockers) and all(
             b.false_positive for b in self.blockers)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoherenceResult):
+            return NotImplemented
+        return (self.granted == other.granted
+                and self.grant_state == other.grant_state
+                and self.blockers == other.blockers
+                and self.latency == other.latency)
+
+    def __repr__(self) -> str:
+        return (f"CoherenceResult(granted={self.granted}, "
+                f"grant_state={self.grant_state}, blockers={self.blockers}, "
+                f"latency={self.latency})")
 
 
 class ConflictPort(abc.ABC):

@@ -23,6 +23,12 @@ from repro.signatures.rwpair import ReadWriteSignature
 class TxContext:
     """Transactional state of one SMT thread context."""
 
+    __slots__ = ("thread_id", "asid", "signature", "summary", "log",
+                 "log_filter", "stats", "timestamp", "possible_cycle",
+                 "pending_abort", "pending_abort_fp", "aborted_by_os",
+                 "write_buffer", "escape_depth", "needs_summary_recompute",
+                 "_commits", "_aborts", "_read_hist", "_write_hist")
+
     def __init__(self, thread_id: int, signature: ReadWriteSignature,
                  summary: ReadWriteSignature, stats: StatsRegistry,
                  asid: int = 0, block_bytes: int = 64,

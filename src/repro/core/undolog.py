@@ -120,10 +120,12 @@ class UndoLog:
     def append(self, vblock: int, memory: PhysicalMemory,
                translate: Callable[[int], int]) -> UndoRecord:
         """Log the current contents of the block containing ``vblock``."""
-        old_words: Dict[int, int] = {}
-        for off in range(0, self.block_bytes, WORD_BYTES):
-            vaddr = vblock + off
-            old_words[vaddr] = memory.load(translate(vaddr))
+        # Per-word translation is deliberate: a block may straddle a page
+        # under relocation, so each word resolves through the page table.
+        load = memory.load
+        old_words: Dict[int, int] = {
+            vaddr: load(translate(vaddr))
+            for vaddr in range(vblock, vblock + self.block_bytes, WORD_BYTES)}
         record = UndoRecord(vblock=vblock, old_words=old_words)
         self.current.records.append(record)
         self.appended += 1

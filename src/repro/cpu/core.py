@@ -44,6 +44,10 @@ from repro.signatures.rwpair import ReadWriteSignature
 #: in the model rather than expected workload behavior.
 MAX_ACCESS_RETRIES = 100_000
 
+#: Operation kinds for the merged memory-op generator (plain ints: the
+#: dispatch runs once per memory reference).
+_OP_LOAD, _OP_STORE, _OP_FETCH_ADD, _OP_SWAP = 0, 1, 2, 3
+
 
 class Core(ConflictPort):
     """One processor core: L1 cache + ``threads_per_core`` SMT slots."""
@@ -77,6 +81,19 @@ class Core(ConflictPort):
         self._c_sibling = stats.counter("tm.sibling_conflicts")
         self._c_log_appends = stats.counter("tm.log_appends")
         self._c_log_filtered = stats.counter("tm.log_filtered")
+        self._c_tlb_misses = stats.counter("mem.tlb_misses")
+        # Hot-path constants, hoisted out of the per-access loop. All are
+        # fixed for the lifetime of the system (SystemConfig is immutable).
+        self._lazy = cfg.tm.lazy
+        self._use_asid_filter = cfg.tm.use_asid_filter
+        self._l1_latency = cfg.l1.latency
+        self._tlb_walk_latency = cfg.tlb_walk_latency
+        self._log_store_cycles = cfg.tm.log_store_cycles
+        self._block_mask = ~(cfg.block_bytes - 1)
+        self._page_mask = ~(cfg.page_bytes - 1)
+        #: With a single context per core there are no SMT siblings, so the
+        #: per-access sibling scan is statically dead.
+        self._multi_slot = cfg.threads_per_core > 1
         fabric.attach(self)
 
     # ------------------------------------------------------------------
@@ -90,7 +107,7 @@ class Core(ConflictPort):
     def check_conflicts(self, block_addr: int, is_write: bool,
                         exclude_thread: Optional[int], asid: int,
                         requester_ts: Optional[Timestamp]) -> List[Blocker]:
-        if self.cfg.tm.lazy:
+        if self._lazy:
             # Lazy (Bulk-style) mode detects conflicts at commit time, not
             # on coherence requests: execution is never NACKed.
             return []
@@ -102,7 +119,7 @@ class Core(ConflictPort):
             # ASID filter: signatures never NACK another address space
             # (prevents cross-process interference, Section 2). The
             # ablation knob re-creates the interference for measurement.
-            if self.cfg.tm.use_asid_filter and thread.asid != asid:
+            if self._use_asid_filter and thread.asid != asid:
                 continue
             ctx = thread.ctx
             if ctx.signature.conflicts(is_write, block_addr):
@@ -137,7 +154,7 @@ class Core(ConflictPort):
 
     def holds_transactional(self, block_addr: int) -> bool:
         """Conservative signature test used for the sticky decision."""
-        if self.cfg.tm.lazy:
+        if self._lazy:
             # No sticky states under lazy detection (Bulk has no need:
             # commit-time broadcasts reach every signature).
             return False
@@ -156,7 +173,7 @@ class Core(ConflictPort):
     def _lazy_tx(self, slot: HardwareSlot) -> bool:
         """Is this access a transactional access under lazy versioning?"""
         thread = slot.thread
-        return (self.cfg.tm.lazy and thread is not None
+        return (self._lazy and thread is not None
                 and thread.ctx.transactional)
 
     def _check_doomed(self, slot: HardwareSlot) -> None:
@@ -174,19 +191,7 @@ class Core(ConflictPort):
 
     def load(self, slot: HardwareSlot, vaddr: int):
         """Load a word; returns its value."""
-        self._c_loads.add()
-        self._check_doomed(slot)
-        if self._lazy_tx(slot):
-            ctx = slot.thread.ctx
-            word = PhysicalMemory.word_of(vaddr)
-            if word in ctx.write_buffer:
-                # Read-your-own-write from the speculative buffer.
-                yield self.cfg.l1.latency
-                return ctx.write_buffer[word]
-        yield from self._access(slot, vaddr, is_write=False)
-        value = self.memory.load(slot.thread.translate(vaddr))
-        self._note_access(slot, vaddr, is_write=False, value=value)
-        return value
+        return self._mem_op(slot, vaddr, _OP_LOAD, 0)
 
     def store(self, slot: HardwareSlot, vaddr: int, value: int):
         """Store a word.
@@ -195,74 +200,97 @@ class Core(ConflictPort):
         the access path). Lazy versioning buffers the store locally — no
         coherence permission, no logging, invisible until commit.
         """
-        self._c_stores.add()
-        self._check_doomed(slot)
-        if self._lazy_tx(slot):
-            ctx = slot.thread.ctx
-            block = self.amap.block_of(slot.thread.translate(vaddr))
-            ctx.signature.insert_write(block)
-            ctx.write_buffer[PhysicalMemory.word_of(vaddr)] = value
-            yield self.cfg.l1.latency
-            return
-        yield from self._access(slot, vaddr, is_write=True)
-        self.memory.store(slot.thread.translate(vaddr), value)
-        self._note_access(slot, vaddr, is_write=True, value=value)
+        return self._mem_op(slot, vaddr, _OP_STORE, value)
 
     def fetch_add(self, slot: HardwareSlot, vaddr: int, delta: int):
         """Atomic read-modify-write; returns the old value."""
-        self._c_stores.add()
-        self._check_doomed(slot)
-        if self._lazy_tx(slot):
-            old = yield from self.load(slot, vaddr)
-            yield from self.store(slot, vaddr, old + delta)
-            return old
-        yield from self._access(slot, vaddr, is_write=True)
-        paddr = slot.thread.translate(vaddr)
-        old = self.memory.load(paddr)
-        self._note_access(slot, vaddr, is_write=False, value=old)
-        self.memory.store(paddr, old + delta)
-        self._note_access(slot, vaddr, is_write=True, value=old + delta)
-        return old
+        return self._mem_op(slot, vaddr, _OP_FETCH_ADD, delta)
 
     def swap(self, slot: HardwareSlot, vaddr: int, value: int):
         """Atomic exchange (test-and-set primitive); returns the old value."""
-        self._c_stores.add()
-        self._check_doomed(slot)
-        if self._lazy_tx(slot):
-            old = yield from self.load(slot, vaddr)
-            yield from self.store(slot, vaddr, value)
-            return old
-        yield from self._access(slot, vaddr, is_write=True)
-        paddr = slot.thread.translate(vaddr)
-        old = self.memory.load(paddr)
-        self._note_access(slot, vaddr, is_write=False, value=old)
-        self.memory.store(paddr, value)
-        self._note_access(slot, vaddr, is_write=True, value=value)
-        return old
+        return self._mem_op(slot, vaddr, _OP_SWAP, value)
 
-    def _access(self, slot: HardwareSlot, vaddr: int, is_write: bool):
-        """Acquire permission + perform TM bookkeeping for one reference."""
+    def _mem_op(self, slot: HardwareSlot, vaddr: int, opkind: int,
+                value: int):
+        """The merged memory-operation generator.
+
+        ``load``/``store``/``fetch_add``/``swap`` are plain functions that
+        return this one generator (``yield from`` propagates its return
+        value to every existing call site unchanged). Merging the former
+        per-op wrapper generators and ``_access`` into a single frame
+        matters: each engine resume traverses every live frame in the
+        ``yield from`` chain, and each access used to allocate three
+        generator objects where one suffices. The body preserves the
+        original statement order exactly — byte-identical results.
+        """
+        if opkind == _OP_LOAD:
+            self._c_loads.value += 1
+        else:
+            self._c_stores.value += 1
         thread = slot.thread
+        if thread is not None and thread.ctx.aborted_by_os:
+            self._check_doomed(slot)
+        if self._lazy and thread is not None and thread.ctx.transactional:
+            # Lazy (Bulk-style) version management: no coherence permission,
+            # no logging; stores buffer locally and loads see their own
+            # buffered writes. Invisible to other threads until commit.
+            ctx = thread.ctx
+            if opkind == _OP_LOAD:
+                word = PhysicalMemory.word_of(vaddr)
+                if word in ctx.write_buffer:
+                    # Read-your-own-write from the speculative buffer.
+                    yield self._l1_latency
+                    return ctx.write_buffer[word]
+                # Not buffered: fall through to the shared access path.
+            elif opkind == _OP_STORE:
+                block = self.amap.block_of(thread.translate(vaddr))
+                ctx.signature.insert_write(block)
+                ctx.write_buffer[PhysicalMemory.word_of(vaddr)] = value
+                yield self._l1_latency
+                return
+            elif opkind == _OP_FETCH_ADD:
+                old = yield from self.load(slot, vaddr)
+                yield from self.store(slot, vaddr, old + value)
+                return old
+            else:  # _OP_SWAP
+                old = yield from self.load(slot, vaddr)
+                yield from self.store(slot, vaddr, value)
+                return old
+        is_write = opkind != _OP_LOAD
+        # -- the access path (formerly ``_access``): acquire permission and
+        # perform the per-reference TM bookkeeping -------------------------
         if thread is None:
             raise SimulationError(f"access on empty slot {slot.global_id}")
         ctx = thread.ctx
+        # Hot locals: this generator runs once per memory reference, and the
+        # attribute chains below are the measured cost centers.
+        page_table = thread.page_table
+        translate = page_table.translate
+        asid = page_table.asid
+        block_mask = self._block_mask
+        lazy = self._lazy
+        summary = slot.summary
+        log = ctx.log
+        lookup = self.l1.lookup
         # Address translation: the page table is the functional truth; the
         # TLB charges the walk latency on a miss (and is kept coherent by
         # the OS shootdown in the paging path).
-        vpage = self.amap.page_of(vaddr)
-        frame = self.tlb.lookup(thread.asid, vpage)
+        vpage = vaddr & self._page_mask
+        frame = self.tlb.lookup(asid, vpage)
         if frame is None:
-            yield self.cfg.tlb_walk_latency
-            self.stats.counter("mem.tlb_misses").add()
-            self.tlb.fill(thread.asid, vpage,
-                          self.amap.page_of(thread.translate(vaddr)))
-        block = self.amap.block_of(thread.translate(vaddr))
+            yield self._tlb_walk_latency
+            self._c_tlb_misses.value += 1
+            self.tlb.fill(asid, vpage, translate(vaddr) & self._page_mask)
         # Escaped accesses skip isolation bookkeeping but still carry the
         # enclosing transaction's timestamp: the thread holds isolation, so
         # it can sit on a deadlock cycle, and blockers must learn its age to
         # set their possible_cycle flags (otherwise an old transaction
         # stalled inside an escape action deadlocks the system).
-        requester_ts = ctx.timestamp if ctx.in_tx else None
+        # ``log_frames`` aliases the undo log's frame list: ``log.depth > 0``
+        # is a property call plus ``len``; the truthiness test below is one
+        # attribute load, and this runs twice per access retry.
+        log_frames = log._frames
+        requester_ts = ctx.timestamp if log_frames else None
 
         for _attempt in range(MAX_ACCESS_RETRIES):
             # Each retry is an instruction boundary: honor preemption here
@@ -270,26 +298,31 @@ class Core(ConflictPort):
             if thread.preempt_requested:
                 raise PreemptedAccess(f"thread {thread.tid} preempted")
             # ...and honor a remote contention manager's doom mark.
-            if ctx.pending_abort and ctx.transactional:
+            # (``log.depth > 0 and escape_depth == 0`` is ctx.transactional
+            # with the property indirection peeled off.)
+            transactional = bool(log_frames) and ctx.escape_depth == 0
+            if ctx.pending_abort and transactional:
                 raise AbortTransaction("remote contention-manager abort",
                                        cause="remote",
                                        fp=ctx.pending_abort_fp)
             # Translation can change under paging; recompute each retry.
-            block = self.amap.block_of(thread.translate(vaddr))
+            block = translate(vaddr) & block_mask
 
             # (1) Summary signature: checked on every reference.
             # (Lazy mode has neither summary signatures nor execution-time
-            # conflicts — Bulk is not virtualizable this way.)
-            if (not self.cfg.tm.lazy
-                    and slot.summary is not None
-                    and not slot.summary.is_empty
-                    and slot.summary.conflicts(is_write, block)):
+            # conflicts — Bulk is not virtualizable this way. The emptiness
+            # test reads the exact shadows directly: the common case is an
+            # empty summary, and it must cost two attribute loads, not four
+            # chained properties.)
+            if (not lazy and summary is not None
+                    and (summary.read._exact or summary.write._exact)
+                    and summary.conflicts(is_write, block)):
                 self._c_summary.add()
-                summary_fp = slot.summary.conflict_is_false_positive(
+                summary_fp = summary.conflict_is_false_positive(
                     is_write, block)
                 self._note_conflict(ctx, fp=summary_fp, source="summary",
                                     block=block)
-                if ctx.transactional:
+                if transactional:
                     # Stalling cannot resolve a conflict with a descheduled
                     # transaction; trap and abort (Section 4.1).
                     raise AbortTransaction("summary-signature conflict",
@@ -298,10 +331,11 @@ class Core(ConflictPort):
                 continue
 
             # (2) SMT sibling signatures (eager mode only; lazy writes
-            # are invisible until commit).
-            sibling_blockers = [] if self.cfg.tm.lazy else \
+            # are invisible until commit; single-context cores have no
+            # siblings to scan).
+            sibling_blockers = None if (lazy or not self._multi_slot) else \
                 self._sibling_conflicts(
-                    thread.tid, thread.asid, block, is_write, requester_ts)
+                    thread.tid, asid, block, is_write, requester_ts)
             if sibling_blockers:
                 self._c_sibling.add()
                 self._note_conflict(ctx, fp=all(
@@ -312,11 +346,14 @@ class Core(ConflictPort):
                                                   retries=_attempt)
                 continue
 
-            # (3) L1 lookup.
-            resident = self.l1.lookup(block)
+            # (3) L1 lookup. The permission test spells out MESI.can_write /
+            # MESI.can_read: enum properties cost a descriptor call per
+            # access, identity tests do not.
+            resident = lookup(block)
             if resident is not None and (
-                    resident.state.can_write if is_write
-                    else resident.state.can_read):
+                    (resident.state is MESI.MODIFIED
+                     or resident.state is MESI.EXCLUSIVE) if is_write
+                    else resident.state is not MESI.INVALID):
                 # Insert into the signature *before* modeling the L1 access
                 # latency: the insert is part of issuing the access, so a
                 # conflicting request arriving during the latency window is
@@ -324,12 +361,12 @@ class Core(ConflictPort):
                 # same-cycle accesses — SMT siblings, or a remote grant in
                 # flight — both passed their signature checks and then both
                 # proceeded, breaking isolation on the block.)
-                if ctx.transactional:
+                if transactional:
                     if is_write:
                         ctx.signature.insert_write(block)
                     else:
                         ctx.signature.insert_read(block)
-                yield self.cfg.l1.latency
+                yield self._l1_latency
                 if is_write and resident.state is MESI.EXCLUSIVE:
                     resident.state = MESI.MODIFIED  # silent E->M upgrade
                 break
@@ -337,7 +374,7 @@ class Core(ConflictPort):
             # (4) Coherence request.
             result = yield from self.fabric.request(
                 self._core_id, thread.tid, requester_ts, block,
-                is_write, thread.asid)
+                is_write, asid)
             if result.granted:
                 self._install(block, result.grant_state, is_write)
                 # Do not proceed directly: an SMT sibling may have touched
@@ -356,18 +393,49 @@ class Core(ConflictPort):
                 f"thread {thread.tid} livelocked on {vaddr:#x}")
 
         # (5) Transactional bookkeeping.
-        if ctx.transactional:
+        if log_frames and ctx.escape_depth == 0:
             if is_write:
                 ctx.signature.insert_write(block)
-                vblock = self.amap.block_of(vaddr)
+                vblock = vaddr & block_mask
                 if ctx.log_filter.should_log(vblock):
-                    ctx.log.append(vblock, self.memory, thread.translate)
-                    self._c_log_appends.add()
-                    yield self.cfg.tm.log_store_cycles
+                    log.append(vblock, self.memory, translate)
+                    self._c_log_appends.value += 1
+                    yield self._log_store_cycles
                 else:
-                    self._c_log_filtered.add()
+                    self._c_log_filtered.value += 1
             else:
                 ctx.signature.insert_read(block)
+
+        # -- functional completion (formerly the per-op wrappers) ----------
+        if opkind == _OP_LOAD:
+            value = self.memory.load(slot.thread.translate(vaddr))
+            if self.stats.recorder is not None:
+                self._note_access(slot, vaddr, is_write=False, value=value)
+            return value
+        if opkind == _OP_STORE:
+            self.memory.store(slot.thread.translate(vaddr), value)
+            if self.stats.recorder is not None:
+                self._note_access(slot, vaddr, is_write=True, value=value)
+            return None
+        if opkind == _OP_FETCH_ADD:
+            paddr = slot.thread.translate(vaddr)
+            old = self.memory.load(paddr)
+            if self.stats.recorder is not None:
+                self._note_access(slot, vaddr, is_write=False, value=old)
+            self.memory.store(paddr, old + value)
+            if self.stats.recorder is not None:
+                self._note_access(slot, vaddr, is_write=True,
+                                  value=old + value)
+            return old
+        # _OP_SWAP
+        paddr = slot.thread.translate(vaddr)
+        old = self.memory.load(paddr)
+        if self.stats.recorder is not None:
+            self._note_access(slot, vaddr, is_write=False, value=old)
+        self.memory.store(paddr, value)
+        if self.stats.recorder is not None:
+            self._note_access(slot, vaddr, is_write=True, value=value)
+        return old
 
     def _note_access(self, slot: HardwareSlot, vaddr: int, is_write: bool,
                      value: int) -> None:

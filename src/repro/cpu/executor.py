@@ -161,11 +161,38 @@ class ThreadExecutor:
                         continue
 
     def _run_ops(self, ops: List[Op]):
+        thread = self.thread
         for op in ops:
             while True:
-                yield from self._preemption_point()
+                # Fast path: scheduled, no preemption pending, not squashed
+                # — the overwhelmingly common case. ``_preemption_point``
+                # would check the same three conditions and return without
+                # yielding, so skipping the sub-generator entirely is
+                # behavior-identical and saves its setup/teardown per op.
+                if (thread.preempt_requested or thread.slot is None
+                        or thread.ctx.aborted_by_os):
+                    yield from self._preemption_point()
                 try:
-                    yield from self._dispatch(op)
+                    # The four hot op kinds dispatch inline: ``_dispatch``
+                    # would add one generator allocation and one frame to
+                    # the resume chain per operation. Rare kinds (nesting,
+                    # escapes, calls) still go through it.
+                    kind = op.kind
+                    if kind is OpKind.LOAD:
+                        slot = self.slot
+                        yield from slot.core.load(slot, op.vaddr)
+                    elif kind is OpKind.STORE:
+                        slot = self.slot
+                        yield from slot.core.store(slot, op.vaddr, op.value)
+                    elif kind is OpKind.COMPUTE:
+                        if op.cycles:
+                            yield op.cycles
+                    elif kind is OpKind.INCR:
+                        slot = self.slot
+                        yield from slot.core.fetch_add(slot, op.vaddr,
+                                                       op.value)
+                    else:
+                        yield from self._dispatch(op)
                     break
                 except PreemptedAccess:
                     # Parked mid-access; the next preemption point waits for
@@ -174,29 +201,35 @@ class ThreadExecutor:
                     continue
 
     def _dispatch(self, op: Op):
-        if op.kind is OpKind.LOAD:
-            yield from self.core.load(self.slot, op.vaddr)
-        elif op.kind is OpKind.STORE:
-            yield from self.core.store(self.slot, op.vaddr, op.value)
-        elif op.kind is OpKind.INCR:
-            yield from self.core.fetch_add(self.slot, op.vaddr, op.value)
-        elif op.kind is OpKind.COMPUTE:
+        kind = op.kind
+        # Resolve the hardware slot once per op (the ``slot``/``core``
+        # properties re-derive it on every use).
+        if kind is OpKind.LOAD:
+            slot = self.slot
+            yield from slot.core.load(slot, op.vaddr)
+        elif kind is OpKind.STORE:
+            slot = self.slot
+            yield from slot.core.store(slot, op.vaddr, op.value)
+        elif kind is OpKind.INCR:
+            slot = self.slot
+            yield from slot.core.fetch_add(slot, op.vaddr, op.value)
+        elif kind is OpKind.COMPUTE:
             if op.cycles:
                 yield op.cycles
-        elif op.kind is OpKind.NEST_BEGIN:
+        elif kind is OpKind.NEST_BEGIN:
             if self.cfg.sync is SyncMode.TRANSACTIONS:
                 yield from self.manager.begin(self.slot, is_open=op.open_nest)
             # Under locks nesting flattens into the enclosing section.
-        elif op.kind is OpKind.NEST_END:
+        elif kind is OpKind.NEST_END:
             if self.cfg.sync is SyncMode.TRANSACTIONS:
                 yield from self.manager.commit(self.slot)
-        elif op.kind is OpKind.ESCAPE_BEGIN:
+        elif kind is OpKind.ESCAPE_BEGIN:
             if self.cfg.sync is SyncMode.TRANSACTIONS:
                 self.manager.begin_escape(self.slot)
-        elif op.kind is OpKind.ESCAPE_END:
+        elif kind is OpKind.ESCAPE_END:
             if self.cfg.sync is SyncMode.TRANSACTIONS:
                 self.manager.end_escape(self.slot)
-        elif op.kind is OpKind.CALL:
+        elif kind is OpKind.CALL:
             yield from op.fn(self.core, self.slot)
         else:  # pragma: no cover - exhaustive enum
             raise WorkloadError(f"unknown op kind {op.kind}")

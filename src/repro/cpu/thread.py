@@ -24,6 +24,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class SoftwareThread:
     """An OS-visible thread: identity, address space, transactional state."""
 
+    __slots__ = ("tid", "page_table", "ctx", "saved_signature", "slot",
+                 "preempt_requested", "parked", "resumed", "finished")
+
     def __init__(self, tid: int, page_table: PageTable,
                  ctx: TxContext) -> None:
         self.tid = tid
@@ -62,6 +65,8 @@ class SoftwareThread:
 
 class HardwareSlot:
     """One SMT thread context on a core."""
+
+    __slots__ = ("core", "slot_index", "summary", "thread")
 
     def __init__(self, core: "Core", slot_index: int,
                  summary: ReadWriteSignature) -> None:

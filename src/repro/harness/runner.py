@@ -13,6 +13,7 @@ produce the 95% confidence intervals of the paper's methodology [2].
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -207,9 +208,23 @@ def run_workload(cfg: SystemConfig, workload: Workload,
                                   sections, rng, system.stats)
         executors.append(executor)
         delay = rng.randrange(start_skew) if start_skew else 0
-        procs.append(system.sim.spawn(staggered(executor, delay),
+        # A zero delay makes the wrapper a pure pass-through; spawning the
+        # executor directly keeps one frame out of every resume chain.
+        gen = staggered(executor, delay) if delay else executor.run()
+        procs.append(system.sim.spawn(gen,
                                       name=f"{workload.name}.t{index}"))
-    system.sim.run_until_done(procs, limit=cycle_limit)
+    # Pause cyclic GC for the simulation proper: the event loop allocates
+    # generators and heap entries at a rate that triggers frequent gen-0
+    # collections, none of which find garbage the refcounter misses. Purely
+    # a wall-clock effect — allocation order and results are unchanged.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        system.sim.run_until_done(procs, limit=cycle_limit)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     units = sum(e.units_done for e in executors)
     report = suite.finish() if suite is not None else None
     if report is not None and verify == "strict" and not report.ok:

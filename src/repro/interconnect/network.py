@@ -23,14 +23,21 @@ class Network:
         self._stats = stats
         self._messages = stats.counter("network.messages")
         self._hops = stats.counter("network.hops")
+        #: Per-class counters, cached so the hot path skips the name
+        #: formatting and registry lookup.
+        self._class_counters = {}
 
     def _charge(self, hops: int, msg_class: str) -> int:
-        self._messages.add()
-        self._hops.add(hops)
-        self._stats.counter(f"network.msg.{msg_class}").add()
+        self._messages.value += 1
+        self._hops.value += hops
+        counter = self._class_counters.get(msg_class)
+        if counter is None:
+            counter = self._class_counters[msg_class] = (
+                self._stats.counter(f"network.msg.{msg_class}"))
+        counter.value += 1
         # Minimum one link traversal even for same-tile transfers (the
         # message still crosses the router/bank interface).
-        return max(hops, 1) * self.link_latency
+        return (hops if hops > 1 else 1) * self.link_latency
 
     def core_to_bank(self, core_id: int, bank_id: int,
                      msg_class: str = "request") -> int:

@@ -39,6 +39,16 @@ class GridTopology:
         # slice, as in Figure 2); extra banks wrap around.
         self._bank_pos: Dict[int, Tuple[int, int]] = {
             b: self._tile_coord(b % tiles) for b in range(num_banks)}
+        # Hop counts are pure functions of the fixed placement; precompute
+        # them so the per-message cost is two list indexings.
+        self._cb_hops = [
+            [self.manhattan(self._core_pos[c], self._bank_pos[b])
+             for b in range(num_banks)]
+            for c in range(num_cores)]
+        self._cc_hops = [
+            [self.manhattan(self._core_pos[a], self._core_pos[b])
+             for b in range(num_cores)]
+            for a in range(num_cores)]
 
     def _tile_coord(self, index: int) -> Tuple[int, int]:
         return divmod(index % (self.rows * self.cols), self.cols)
@@ -54,11 +64,10 @@ class GridTopology:
         return abs(a[0] - b[0]) + abs(a[1] - b[1])
 
     def core_to_bank_hops(self, core_id: int, bank_id: int) -> int:
-        return self.manhattan(self.core_coord(core_id),
-                              self.bank_coord(bank_id))
+        return self._cb_hops[core_id][bank_id]
 
     def core_to_core_hops(self, a: int, b: int) -> int:
-        return self.manhattan(self.core_coord(a), self.core_coord(b))
+        return self._cc_hops[a][b]
 
     @property
     def diameter(self) -> int:

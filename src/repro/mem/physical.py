@@ -16,6 +16,10 @@ from typing import Dict, Iterator, Tuple
 
 WORD_BYTES = 8
 
+#: Word-alignment mask (``addr & _WORD_MASK`` == ``word_of(addr)``), kept at
+#: module level so the hot load/store paths skip a staticmethod call.
+_WORD_MASK = ~(WORD_BYTES - 1)
+
 
 class PhysicalMemory:
     """Sparse word-addressed value store (missing words read as zero)."""
@@ -37,13 +41,15 @@ class PhysicalMemory:
                 f"({self.capacity_bytes:#x} bytes)")
 
     def load(self, addr: int) -> int:
-        self._check(addr)
-        return self._words.get(self.word_of(addr), 0)
+        if not 0 <= addr < self.capacity_bytes:
+            self._check(addr)
+        return self._words.get(addr & _WORD_MASK, 0)
 
     def store(self, addr: int, value: int) -> int:
         """Write a word; returns the old value (used by undo logging)."""
-        self._check(addr)
-        word = self.word_of(addr)
+        if not 0 <= addr < self.capacity_bytes:
+            self._check(addr)
+        word = addr & _WORD_MASK
         old = self._words.get(word, 0)
         if value == 0:
             self._words.pop(word, None)

@@ -23,6 +23,8 @@ TlbTag = Tuple[int, int]
 class Tlb:
     """Fully associative, LRU, per-core translation cache."""
 
+    __slots__ = ("entries", "_map", "hits", "misses", "shootdowns")
+
     def __init__(self, entries: int = 64) -> None:
         if entries < 1:
             raise ValueError("TLB needs at least one entry")

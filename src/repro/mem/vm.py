@@ -47,6 +47,9 @@ class FrameAllocator:
 class PageTable:
     """Per-process virtual→physical map with demand allocation."""
 
+    __slots__ = ("_amap", "_allocator", "asid", "_map", "relocations",
+                 "_page_mask")
+
     def __init__(self, amap: AddressMap, allocator: FrameAllocator,
                  asid: int = 0) -> None:
         self._amap = amap
@@ -57,15 +60,17 @@ class PageTable:
         self.asid = asid
         self._map: Dict[int, int] = {}
         self.relocations = 0
+        self._page_mask = amap.page_bytes - 1
 
     def translate(self, vaddr: int) -> int:
         """Physical address for ``vaddr``, allocating the frame on first use."""
-        vpage = self._amap.page_of(vaddr)
+        mask = self._page_mask
+        vpage = vaddr & ~mask
         frame = self._map.get(vpage)
         if frame is None:
             frame = self._allocator.allocate()
             self._map[vpage] = frame
-        return frame + self._amap.page_offset(vaddr)
+        return frame + (vaddr & mask)
 
     def mapping(self, vpage: int) -> Optional[int]:
         """Current frame of a virtual page, or None if never touched."""

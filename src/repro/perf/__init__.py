@@ -1,0 +1,28 @@
+"""Performance layer: the pinned benchmark suite and its tracked trajectory.
+
+``repro bench`` (and CI's bench job) run the suite in
+:mod:`repro.perf.suite`, append measurements to the ``BENCH_*.json``
+records at the repository root via :mod:`repro.perf.harness`, and gate
+pull requests on the regression thresholds. ``docs/performance.md`` is the
+narrative companion: the simulator's performance model, what each field
+means, and how to read a regression.
+"""
+
+from repro.perf.harness import (EXIT_HARD, EXIT_OK, EXIT_SOFT,
+                                HARD_THRESHOLD, SOFT_THRESHOLD,
+                                RegressionReport, SuiteOutcome,
+                                check_regression, load_records,
+                                measure_case, render_markdown_trajectory,
+                                render_trajectory, run_suite)
+from repro.perf.schema import (SCHEMA_VERSION, BenchMeasurement, BenchRecord,
+                               environment_fingerprint)
+from repro.perf.suite import CASES, SUITE, BenchCase, run_engine_stress
+
+__all__ = [
+    "BenchCase", "BenchMeasurement", "BenchRecord", "CASES",
+    "EXIT_HARD", "EXIT_OK", "EXIT_SOFT", "HARD_THRESHOLD",
+    "RegressionReport", "SCHEMA_VERSION", "SOFT_THRESHOLD", "SUITE",
+    "SuiteOutcome", "check_regression", "environment_fingerprint",
+    "load_records", "measure_case", "render_markdown_trajectory",
+    "render_trajectory", "run_engine_stress", "run_suite",
+]

@@ -1,0 +1,219 @@
+"""Benchmark harness: measure the pinned suite, track it, gate regressions.
+
+``measure_case`` times one :class:`repro.perf.suite.BenchCase` with a plain
+wall clock (the simulator itself never reads wall time — the determinism
+self-lint enforces that) and derives the headline rates. ``run_suite``
+loads each case's committed ``BENCH_<name>.json``, compares the fresh
+measurement against the trajectory tail, and appends it.
+
+Regression semantics (shared by ``repro bench --check`` and CI):
+
+* ratio = fresh wall-seconds / baseline wall-seconds, baseline being the
+  newest committed trajectory entry measured at the same scale;
+* ratio > ``SOFT_THRESHOLD`` (1.3, i.e. >30% slower) → *soft* regression —
+  CI annotates a warning but passes (shared runners are noisy);
+* ratio > ``HARD_THRESHOLD`` (2.0) → *hard* regression — CI fails;
+* a ``result_digest`` mismatch at equal scale is a *determinism* failure —
+  the optimization changed simulated behaviour — and is always hard.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.perf.schema import BenchMeasurement, BenchRecord
+from repro.perf.suite import CASES, SUITE, BenchCase
+
+#: >30% slower than the committed baseline: warn.
+SOFT_THRESHOLD = 1.3
+#: >2x slower: fail hard even on noisy shared runners.
+HARD_THRESHOLD = 2.0
+
+#: Exit codes of ``repro bench --check``.
+EXIT_OK = 0
+EXIT_SOFT = 1
+EXIT_HARD = 2
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing one fresh measurement with its baseline."""
+
+    name: str
+    status: str  # "ok" | "improved" | "soft" | "hard" | "no-baseline"
+    ratio: Optional[float] = None
+    baseline_label: Optional[str] = None
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def failed_soft(self) -> bool:
+        return self.status == "soft"
+
+    @property
+    def failed_hard(self) -> bool:
+        return self.status == "hard"
+
+
+def measure_case(case: BenchCase, scale: str = "full",
+                 label: str = "measured") -> BenchMeasurement:
+    """Run one pinned case once, timed."""
+    start = time.perf_counter()
+    totals = case.run(scale)
+    wall = time.perf_counter() - start
+    return BenchMeasurement.from_totals(
+        label=label, wall_seconds=wall,
+        cycles=totals.get("cycles", 0), aborts=totals.get("aborts", 0),
+        cells=totals.get("cells", 0), events=totals.get("events", 0),
+        extra=totals.get("extra"))
+
+
+def _baseline_for(record: Optional[BenchRecord],
+                  scale: str) -> Optional[BenchMeasurement]:
+    """Newest committed entry measured at the same scale (or None)."""
+    if record is None:
+        return None
+    for measurement in reversed(record.trajectory):
+        if measurement.extra.get("scale") == scale:
+            return measurement
+    return None
+
+
+def check_regression(name: str, fresh: BenchMeasurement,
+                     record: Optional[BenchRecord],
+                     scale: str = "full",
+                     soft_threshold: float = SOFT_THRESHOLD,
+                     hard_threshold: float = HARD_THRESHOLD
+                     ) -> RegressionReport:
+    """Grade a fresh measurement against the committed trajectory."""
+    baseline = _baseline_for(record, scale)
+    if baseline is None or baseline.wall_seconds <= 0:
+        return RegressionReport(
+            name=name, status="no-baseline",
+            messages=[f"{name}: no committed baseline at scale "
+                      f"{scale!r}; recording only"])
+    ratio = fresh.wall_seconds / baseline.wall_seconds
+    report = RegressionReport(name=name, ratio=ratio,
+                              baseline_label=baseline.label, status="ok")
+    fresh_digest = fresh.extra.get("result_digest")
+    base_digest = baseline.extra.get("result_digest")
+    if fresh_digest and base_digest and fresh_digest != base_digest:
+        report.status = "hard"
+        report.messages.append(
+            f"{name}: result digest changed vs {baseline.label!r} "
+            f"({base_digest[:12]} -> {fresh_digest[:12]}) — simulated "
+            "behaviour is no longer byte-identical")
+        return report
+    if ratio > hard_threshold:
+        report.status = "hard"
+        report.messages.append(
+            f"{name}: {ratio:.2f}x slower than {baseline.label!r} "
+            f"({fresh.wall_seconds:.3f}s vs {baseline.wall_seconds:.3f}s; "
+            f"hard threshold {hard_threshold:.1f}x)")
+    elif ratio > soft_threshold:
+        report.status = "soft"
+        report.messages.append(
+            f"{name}: {ratio:.2f}x slower than {baseline.label!r} "
+            f"({fresh.wall_seconds:.3f}s vs {baseline.wall_seconds:.3f}s; "
+            f"soft threshold {soft_threshold:.1f}x)")
+    elif ratio < 1.0:
+        report.status = "improved"
+        report.messages.append(
+            f"{name}: {1 / ratio:.2f}x faster than {baseline.label!r}")
+    return report
+
+
+@dataclass
+class SuiteOutcome:
+    """Everything one ``repro bench`` invocation produced."""
+
+    records: Dict[str, BenchRecord] = field(default_factory=dict)
+    measurements: Dict[str, BenchMeasurement] = field(default_factory=dict)
+    regressions: Dict[str, RegressionReport] = field(default_factory=dict)
+    written: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        if any(r.failed_hard for r in self.regressions.values()):
+            return EXIT_HARD
+        if any(r.failed_soft for r in self.regressions.values()):
+            return EXIT_SOFT
+        return EXIT_OK
+
+
+def run_suite(names: Optional[Sequence[str]] = None, scale: str = "full",
+              label: str = "measured", out_dir: str = ".",
+              write: bool = True, check: bool = False) -> SuiteOutcome:
+    """Measure the named cases (default: all), track, and optionally gate.
+
+    The committed record is always loaded from ``out_dir`` so the fresh
+    measurement is compared against — and appended to — the same file that
+    ``repro bench`` wrote last time.
+    """
+    outcome = SuiteOutcome()
+    for name in names or SUITE:
+        case = CASES[name]
+        record = BenchRecord.load_if_exists(name, out_dir)
+        fresh = measure_case(case, scale=scale, label=label)
+        outcome.measurements[name] = fresh
+        if check:
+            outcome.regressions[name] = check_regression(
+                name, fresh, record, scale=scale)
+        if record is None:
+            record = BenchRecord(name=name, description=case.description,
+                                 config=dict(case.config))
+        record.record(fresh)
+        outcome.records[name] = record
+        if write:
+            outcome.written.append(record.save(out_dir))
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+def load_records(out_dir: str = ".",
+                 names: Optional[Sequence[str]] = None
+                 ) -> Dict[str, BenchRecord]:
+    """Committed records present in ``out_dir`` (suite order)."""
+    records = {}
+    for name in names or SUITE:
+        record = BenchRecord.load_if_exists(name, out_dir)
+        if record is not None:
+            records[name] = record
+    return records
+
+
+def render_trajectory(records: Dict[str, BenchRecord]) -> str:
+    """The trajectory of every record as one markdown-style table."""
+    from repro.harness.report import render_table
+    rows = []
+    for name, record in records.items():
+        for m in record.trajectory:
+            rows.append((
+                name, m.label, f"{m.wall_seconds:.3f}",
+                f"{m.cycles_per_second:,.0f}",
+                f"{m.aborts_per_second:,.0f}",
+                f"{m.cells_per_minute:,.1f}",
+                f"{m.events_per_second:,.0f}",
+                m.extra.get("scale", "?")))
+    return render_table(
+        ["Benchmark", "Label", "Wall s", "Cycles/s", "Aborts/s",
+         "Cells/min", "Events/s", "Scale"],
+        rows, title="Benchmark trajectory (BENCH_*.json)")
+
+
+def render_markdown_trajectory(records: Dict[str, BenchRecord]) -> str:
+    """GitHub-flavoured markdown table (used by the README section)."""
+    lines = ["| Benchmark | Label | Wall s | Cycles/s | Aborts/s | "
+             "Cells/min | Events/s |",
+             "|---|---|---|---|---|---|---|"]
+    for name, record in records.items():
+        for m in record.trajectory:
+            lines.append(
+                f"| {name} | {m.label} | {m.wall_seconds:.3f} | "
+                f"{m.cycles_per_second:,.0f} | {m.aborts_per_second:,.0f} | "
+                f"{m.cells_per_minute:,.1f} | {m.events_per_second:,.0f} |")
+    return "\n".join(lines)

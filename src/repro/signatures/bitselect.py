@@ -36,6 +36,19 @@ class BitSelectSignature(Signature):
     def _bit_index(self, block_addr: int) -> int:
         return (block_addr >> self._block_shift) & self._index_mask
 
+    # Flattened hot-path overrides of the base-class insert/contains: one
+    # shift-and-mask on a Python int, no template-method indirection. The
+    # exact shadow is still maintained, matching Signature.insert.
+    def insert(self, block_addr: int) -> None:
+        self._mask |= 1 << ((block_addr >> self._block_shift)
+                            & self._index_mask)
+        self._exact.add(block_addr)
+
+    def contains(self, block_addr: int) -> bool:
+        return bool(self._mask
+                    >> ((block_addr >> self._block_shift) & self._index_mask)
+                    & 1)
+
     def spawn_empty(self) -> "BitSelectSignature":
         return BitSelectSignature(self.bits, self.block_bytes)
 

@@ -37,6 +37,17 @@ class CoarseBitSelectSignature(Signature):
     def _bit_index(self, block_addr: int) -> int:
         return (block_addr >> self._macro_shift) & self._index_mask
 
+    # Flattened hot-path overrides (see BitSelectSignature for rationale).
+    def insert(self, block_addr: int) -> None:
+        self._mask |= 1 << ((block_addr >> self._macro_shift)
+                            & self._index_mask)
+        self._exact.add(block_addr)
+
+    def contains(self, block_addr: int) -> bool:
+        return bool(self._mask
+                    >> ((block_addr >> self._macro_shift) & self._index_mask)
+                    & 1)
+
     def spawn_empty(self) -> "CoarseBitSelectSignature":
         return CoarseBitSelectSignature(self.bits, self.macroblock_bytes)
 

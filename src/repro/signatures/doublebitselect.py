@@ -44,6 +44,20 @@ class DoubleBitSelectSignature(Signature):
         idx = block_addr >> self._block_shift
         return idx & self._half_mask, (idx >> self._field_shift) & self._half_mask
 
+    # Flattened hot-path overrides (see BitSelectSignature for rationale).
+    def insert(self, block_addr: int) -> None:
+        idx = block_addr >> self._block_shift
+        self._lo |= 1 << (idx & self._half_mask)
+        self._hi |= 1 << ((idx >> self._field_shift) & self._half_mask)
+        self._exact.add(block_addr)
+
+    def contains(self, block_addr: int) -> bool:
+        idx = block_addr >> self._block_shift
+        return bool((self._lo >> (idx & self._half_mask) & 1)
+                    and (self._hi
+                         >> ((idx >> self._field_shift) & self._half_mask)
+                         & 1))
+
     def spawn_empty(self) -> "DoubleBitSelectSignature":
         return DoubleBitSelectSignature(self.bits, self.block_bytes)
 

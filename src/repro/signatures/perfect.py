@@ -18,6 +18,14 @@ class PerfectSignature(Signature):
 
     __slots__ = ()
 
+    # Flattened hot-path overrides: the exact shadow *is* the filter, so
+    # insert/contains collapse to one set operation each.
+    def insert(self, block_addr: int) -> None:
+        self._exact.add(block_addr)
+
+    def contains(self, block_addr: int) -> bool:
+        return block_addr in self._exact
+
     def spawn_empty(self) -> "PerfectSignature":
         return PerfectSignature()
 

@@ -46,9 +46,12 @@ class ReadWriteSignature:
         return self.read.contains(block_addr) or self.write.contains(block_addr)
 
     def conflicts(self, is_write: bool, block_addr: int) -> bool:
+        # Inlined (no delegation): this is the per-NACK hot path — every
+        # remote access probes every transactional thread through here.
         if is_write:
-            return self.conflicts_with_write(block_addr)
-        return self.conflicts_with_read(block_addr)
+            return (self.read.contains(block_addr)
+                    or self.write.contains(block_addr))
+        return self.write.contains(block_addr)
 
     def clear(self) -> None:
         self.read.clear()

@@ -10,12 +10,22 @@ that ``yield`` either
 
 Processes compose with ``yield from``, which is how a CPU access "calls into"
 the cache hierarchy while accumulating latency.
+
+Internally the queue is split in two: a binary heap for timed actions and a
+FIFO deque for zero-delay actions scheduled at the current cycle (future
+resolutions and ``yield 0`` handoffs, which dominate synchronization-heavy
+runs). Both structures honour the same global ``(when, seq)`` order — every
+schedule still draws a fresh sequence number — so execution order, and
+therefore every simulation result, is identical to a single-heap engine;
+the split only avoids heap churn for actions that would be popped
+immediately. See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.common.errors import DeadlockError, SimulationError
 from repro.sim.future import Future
@@ -27,7 +37,8 @@ ProcessGen = Generator[Any, Any, Any]
 class Process:
     """A running generator registered with the simulator."""
 
-    __slots__ = ("gen", "name", "done", "sim", "_alive")
+    __slots__ = ("gen", "name", "done", "sim", "_alive",
+                 "_resume", "_on_resolved", "_next_value")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str) -> None:
         self.sim = sim
@@ -36,6 +47,13 @@ class Process:
         #: Resolves with the generator's return value when it finishes.
         self.done = Future(f"{name}.done")
         self._alive = True
+        # Prebound continuations: scheduling a step reuses these callables
+        # instead of allocating a closure per yield. A process waits on at
+        # most one future at a time, so a single ``_next_value`` cell is
+        # enough to carry the resolved value into the next step.
+        self._next_value: Any = None
+        self._resume = self._step_next
+        self._on_resolved = self._future_resolved
 
     @property
     def alive(self) -> bool:
@@ -52,8 +70,14 @@ class Process:
             if not self.done.done:
                 self.done.resolve(None)
 
-    def _step(self, send_value: Any) -> None:
-        """Advance the generator one yield and reschedule accordingly."""
+    def _step_next(self) -> None:
+        """Advance the generator one yield and reschedule accordingly.
+
+        This is the scheduled continuation for every event — one call per
+        event, with the send/reschedule logic inline (a separate ``_step``
+        helper would double the per-event call count).
+        """
+        send_value, self._next_value = self._next_value, None
         if not self._alive:
             return
         try:
@@ -64,20 +88,42 @@ class Process:
                 self.sim.tracer.record("sim.process_done", process=self.name)
             self.done.resolve(stop.value)
             return
-        if isinstance(yielded, int):
+        if type(yielded) is int or isinstance(yielded, int):
             if yielded < 0:
                 self._alive = False
                 raise SimulationError(
                     f"process {self.name} yielded negative delay {yielded}")
-            self.sim.schedule(yielded, lambda: self._step(None))
+            sim = self.sim
+            sim._seq += 1
+            if yielded:
+                heapq.heappush(sim._queue,
+                               (sim.now + yielded, sim._seq, self._resume))
+            elif not sim._ready:
+                sim._ready_when = sim.now
+                sim._ready.append((sim._seq, self._resume))
+            elif sim._ready_when == sim.now:
+                sim._ready.append((sim._seq, self._resume))
+            else:  # pragma: no cover - time moved past pending ready entries
+                heapq.heappush(sim._queue, (sim.now, sim._seq, self._resume))
         elif isinstance(yielded, Future):
-            yielded.add_callback(
-                lambda value: self.sim.schedule(0, lambda: self._step(value)))
+            yielded.add_callback(self._on_resolved)
         else:
             self._alive = False
             raise SimulationError(
                 f"process {self.name} yielded {type(yielded).__name__}; "
                 "only int delays and Futures are allowed")
+
+    def _future_resolved(self, value: Any) -> None:
+        self._next_value = value
+        sim = self.sim
+        sim._seq += 1
+        if not sim._ready:
+            sim._ready_when = sim.now
+            sim._ready.append((sim._seq, self._resume))
+        elif sim._ready_when == sim.now:
+            sim._ready.append((sim._seq, self._resume))
+        else:  # pragma: no cover - time moved past pending ready entries
+            heapq.heappush(sim._queue, (sim.now, sim._seq, self._resume))
 
     def __repr__(self) -> str:
         state = "alive" if self._alive else "done"
@@ -91,6 +137,10 @@ class Simulator:
         self.now = 0
         self._seq = 0
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
+        #: Zero-delay actions scheduled at cycle ``_ready_when`` (always the
+        #: current cycle while non-empty), FIFO by sequence number.
+        self._ready: Deque[Tuple[int, Callable[[], None]]] = deque()
+        self._ready_when = 0
         self._processes: List[Process] = []
         self.events_executed = 0
         #: Optional observability sink with a ``record(kind, **fields)``
@@ -103,16 +153,30 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past ({delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, action))
+        if delay:
+            heapq.heappush(self._queue, (self.now + delay, self._seq, action))
+        elif not self._ready:
+            self._ready_when = self.now
+            self._ready.append((self._seq, action))
+        elif self._ready_when == self.now:
+            self._ready.append((self._seq, action))
+        else:  # pragma: no cover - time moved past pending ready entries
+            heapq.heappush(self._queue, (self.now, self._seq, action))
 
-    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
-        """Register a generator as a process; it starts at the current time."""
-        proc = Process(self, gen, name)
-        self._processes.append(proc)
-        if self.tracer is not None:
-            self.tracer.record("sim.spawn", process=name)
-        self.schedule(0, lambda: proc._step(None))
-        return proc
+    def _next_entry(self) -> Tuple[int, int, Callable[[], None], bool]:
+        """Peek the globally smallest ``(when, seq, action)`` without
+        popping; the flag says whether it lives on the heap."""
+        queue, ready = self._queue, self._ready
+        if ready:
+            rseq, raction = ready[0]
+            rwhen = self._ready_when
+            if queue:
+                hwhen, hseq, haction = queue[0]
+                if hwhen < rwhen or (hwhen == rwhen and hseq < rseq):
+                    return hwhen, hseq, haction, True
+            return rwhen, rseq, raction, False
+        hwhen, hseq, haction = queue[0]
+        return hwhen, hseq, haction, True
 
     def run(self, until: Optional[int] = None,
             max_events: Optional[int] = None) -> int:
@@ -121,12 +185,16 @@ class Simulator:
         Stops when the queue is empty, virtual time would pass ``until``, or
         ``max_events`` actions have run. Returns the final virtual time.
         """
-        while self._queue:
-            when, _seq, action = self._queue[0]
+        queue, ready = self._queue, self._ready
+        while queue or ready:
+            when, _seq, action, from_heap = self._next_entry()
             if until is not None and when > until:
                 self.now = until
                 break
-            heapq.heappop(self._queue)
+            if from_heap:
+                heapq.heappop(queue)
+            else:
+                ready.popleft()
             self.now = when
             self.events_executed += 1
             action()
@@ -142,24 +210,68 @@ class Simulator:
         process is blocked on a future nobody will resolve) or if ``limit``
         cycles elapse.
         """
-        while not all(p.done.done for p in procs):
-            if not self._queue:
+        remaining = 0
+        for p in procs:
+            if not p.done.done:
+                remaining += 1
+
+                def _finished(_value):
+                    nonlocal remaining
+                    remaining -= 1
+
+                p.done.add_callback(_finished)
+        queue, ready = self._queue, self._ready
+        heappop = heapq.heappop
+        while remaining:
+            if not queue and not ready:
                 stuck = [p.name for p in procs if not p.done.done]
                 raise DeadlockError(
                     f"no pending events but processes blocked: {stuck}")
-            if limit is not None and self._queue[0][0] > limit:
-                stuck = [p.name for p in procs if not p.done.done]
-                raise DeadlockError(
-                    f"cycle limit {limit} exceeded; still running: {stuck}")
-            when, _seq, action = heapq.heappop(self._queue)
+            if ready:
+                rseq, action = ready[0]
+                when = self._ready_when
+                if queue:
+                    head = queue[0]
+                    if head[0] < when or (head[0] == when and head[1] < rseq):
+                        when, action = head[0], head[2]
+                        if limit is not None and when > limit:
+                            self._limit_exceeded(procs, limit)
+                        heappop(queue)
+                    else:
+                        if limit is not None and when > limit:
+                            self._limit_exceeded(procs, limit)
+                        ready.popleft()
+                else:
+                    if limit is not None and when > limit:
+                        self._limit_exceeded(procs, limit)
+                    ready.popleft()
+            else:
+                when, _seq, action = queue[0]
+                if limit is not None and when > limit:
+                    self._limit_exceeded(procs, limit)
+                heappop(queue)
             self.now = when
             self.events_executed += 1
             action()
         return self.now
 
+    def _limit_exceeded(self, procs: List[Process], limit: int) -> None:
+        stuck = [p.name for p in procs if not p.done.done]
+        raise DeadlockError(
+            f"cycle limit {limit} exceeded; still running: {stuck}")
+
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        """Register a generator as a process; it starts at the current time."""
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        if self.tracer is not None:
+            self.tracer.record("sim.spawn", process=name)
+        self.schedule(0, proc._resume)
+        return proc
+
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + len(self._ready)
 
     def processes(self) -> List[Process]:
         """All processes ever spawned (including finished ones)."""
