@@ -41,14 +41,12 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.common.config import (SignatureKind, SyncMode, SystemConfig,
-                                 figure4_variants)
+from repro.common.config import SignatureKind, SyncMode, SystemConfig
 from repro.harness import experiments as E
 from repro.harness.parallel import (ResultCache, SweepExecutionError,
                                     run_parallel_sweep)
 from repro.harness.runner import run_workload
-from repro.harness.sweep import (signature_design_variants,
-                                 signature_size_variants)
+from repro.svc.spec import SWEEP_MODES, SpecError, SweepSpec
 
 
 def _scale(name: str) -> E.ExperimentScale:
@@ -296,35 +294,31 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-#: sweep --mode choices: how the variant family is built.
-SWEEP_MODES = ("designs", "sizes", "figure4")
+def _spec_from_args(args) -> "SweepSpec":
+    """Build the service-grade :class:`SweepSpec` from sweep-style args.
 
-
-def _sweep_variants(args):
-    """(variants, baseline_label) for the chosen sweep mode."""
-    base = SystemConfig.default()
-    if args.mode == "designs":
-        return (signature_design_variants(args.bits, base=base,),
-                "Perfect")
-    if args.mode == "sizes":
-        kind = SignatureKind(args.kind)
-        return (signature_size_variants(kind, sizes=args.sizes, base=base,
-                                        granularity=args.granularity),
-                None)
-    return list(figure4_variants(base)), "Lock"
+    ``repro sweep`` and ``repro submit`` share this, so a sweep run
+    locally and the same sweep submitted to a service are guaranteed to
+    describe (and content-address) identical cells.
+    """
+    return SweepSpec(workload=args.workload, mode=args.mode,
+                     threads=args.threads, units=args.units,
+                     seed=args.seed, bits=args.bits, kind=args.kind,
+                     sizes=tuple(args.sizes),
+                     granularity=args.granularity,
+                     timeout=getattr(args, "timeout", None),
+                     retries=getattr(args, "retries", 1))
 
 
 def _cmd_sweep(args) -> int:
-    if args.workload not in E.WORKLOAD_CLASSES:
-        print(f"unknown workload {args.workload!r}; choose from "
-              f"{sorted(E.WORKLOAD_CLASSES)}", file=sys.stderr)
+    try:
+        spec = _spec_from_args(args)
+    except SpecError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    variants, baseline = _sweep_variants(args)
-    cls = E.WORKLOAD_CLASSES[args.workload]
-
-    def factory():
-        return cls(num_threads=args.threads, units_per_thread=args.units,
-                   seed=args.seed)
+    variants = spec.variants()
+    baseline = spec.baseline_label
+    factory = spec.workload_factory()
 
     no_cache = args.no_cache or args.trace_dir is not None
     cache = None if no_cache else ResultCache(args.cache_dir)
@@ -355,6 +349,160 @@ def _cmd_sweep(args) -> int:
               + ("" if cache_info["enabled"] else " (disabled)"))
     if args.trace_dir is not None:
         print(f"trace artifacts: {args.trace_dir}/<variant>.trace.json")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.svc.api import serve
+    from repro.svc.service import SweepService
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    service = SweepService(args.db, workers=args.workers, cache=cache,
+                           drain_timeout=args.drain_timeout)
+    service.start()
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"sweep service listening on http://{host}:{port}  "
+          f"(db={args.db}, workers={args.workers}, "
+          f"cache={'off' if cache is None else cache.root})", flush=True)
+
+    def _request_stop(signum, frame):
+        # serve_forever blocks this thread; shutdown() must come from
+        # another one. Draining happens below, after the listener stops.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+        print("listener closed; draining workers...", flush=True)
+        service.shutdown(drain=True)
+        print("drained.", flush=True)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.svc.client import ClientError, ServiceClient
+
+    try:
+        spec = _spec_from_args(args)
+    except SpecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(spec.to_dict(), priority=args.priority)
+        job_id = job["id"]
+        if not args.json:
+            print(f"submitted {job_id}: {len(job['cells'])} cell(s), "
+                  f"state {job['state']}")
+        if args.follow:
+            for event in client.events(job_id, follow=True):
+                print(json.dumps(event))
+            job = client.job(job_id)
+        elif args.wait:
+            job = client.wait(job_id, timeout=args.wait_timeout)
+    except ClientError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        return _emit_json(job)
+    if args.wait or args.follow:
+        counts = job.get("cell_counts", {})
+        summary = ", ".join(f"{state}={n}"
+                            for state, n in sorted(counts.items()) if n)
+        print(f"job {job['id']}: {job['state']} ({summary})")
+        if job.get("error"):
+            print(f"error: {job['error']}", file=sys.stderr)
+        return 0 if job["state"] == "done" else 1
+    print(f"poll with: python -m repro jobs {job['id']}")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.svc.client import ClientError, ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            jobs = client.jobs(state=args.state, limit=args.limit)
+            if args.json:
+                return _emit_json(jobs)
+            if not jobs:
+                print("no jobs")
+                return 0
+            for job in jobs:
+                counts = job.get("cell_counts", {})
+                cells = ", ".join(f"{state}={n}" for state, n
+                                  in sorted(counts.items()) if n)
+                print(f"{job['id']}  {job['state']:<9}  "
+                      f"{job['spec']['workload']}/{job['spec']['mode']}  "
+                      f"[{cells}]")
+            return 0
+        if args.cancel:
+            job = client.cancel(args.job_id)
+            if args.json:
+                return _emit_json(job)
+            print(f"job {job['id']}: {job['state']}")
+            return 0
+        if args.results:
+            results = client.results(args.job_id)
+            if args.json:
+                return _emit_json(results)
+            for label in sorted(results):
+                entry = results[label]
+                digest = (entry["digest"] or "")[:12]
+                print(f"{label:<12} {entry['state']:<9} "
+                      f"{entry['source'] or '-':<10} {digest}")
+            return 0
+        job = client.job(args.job_id)
+        if args.json:
+            return _emit_json(job)
+        print(f"job    : {job['id']}")
+        print(f"state  : {job['state']}")
+        print(f"spec   : {job['spec']['workload']} mode={job['spec']['mode']}"
+              f" threads={job['spec']['threads']}"
+              f" units={job['spec']['units']}")
+        for cell in job.get("cells", []):
+            print(f"  {cell['label']:<12} {cell['state']:<9} "
+                  f"{cell['source'] or '-'}")
+        if job.get("error"):
+            print(f"error  : {job['error']}")
+        return 0
+    except ClientError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        payload = {"root": str(cache.root),
+                   "entries": cache.entry_count(),
+                   "bytes": cache.size_bytes()}
+        if args.json:
+            return _emit_json(payload)
+        print(f"root    : {payload['root']}")
+        print(f"entries : {payload['entries']}")
+        print(f"size    : {payload['bytes']:,} bytes")
+        return 0
+    # prune
+    if args.max_entries is None:
+        print("cache prune requires --max-entries N", file=sys.stderr)
+        return 2
+    before = cache.entry_count()
+    removed = cache.prune(max_entries=args.max_entries)
+    if args.json:
+        return _emit_json({"root": str(cache.root), "before": before,
+                           "removed": removed,
+                           "entries": cache.entry_count()})
+    print(f"pruned {removed} of {before} entries "
+          f"(cap {args.max_entries}, root {cache.root})")
     return 0
 
 
@@ -539,32 +687,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "(no measurement)")
     p.set_defaults(fn=_cmd_bench)
 
+    def _add_spec_args(p: argparse.ArgumentParser) -> None:
+        """The variant-grid arguments shared by ``sweep`` and ``submit``."""
+        p.add_argument("workload", help="workload name (e.g. Mp3d)")
+        p.add_argument("--mode", choices=SWEEP_MODES, default="designs",
+                       help="variant family: all signature designs at "
+                            "--bits, one --kind across --sizes, or the six "
+                            "Figure 4 configs (default: designs)")
+        p.add_argument("--kind", default="bs",
+                       choices=[k.value for k in SignatureKind
+                                if k is not SignatureKind.PERFECT],
+                       help="signature design for --mode sizes")
+        p.add_argument("--sizes", type=int, nargs="+",
+                       default=[64, 256, 2048],
+                       help="signature bit sizes for --mode sizes")
+        p.add_argument("--bits", type=int, default=2048,
+                       help="signature bits for --mode designs")
+        p.add_argument("--granularity", type=int, default=1024,
+                       help="CBS macroblock bytes (sizes mode)")
+        p.add_argument("--threads", type=int, default=8)
+        p.add_argument("--units", type=int, default=2)
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-variant wall-clock timeout in seconds")
+        p.add_argument("--retries", type=int, default=1,
+                       help="relaunches after a worker crash (default: 1)")
+
     p = sub.add_parser(
         "sweep",
         help="run one workload across a config family (parallel, cached)")
-    p.add_argument("workload", help="workload name (e.g. Mp3d)")
-    p.add_argument("--mode", choices=SWEEP_MODES, default="designs",
-                   help="variant family: all signature designs at --bits, "
-                        "one --kind across --sizes, or the six Figure 4 "
-                        "configs (default: designs)")
-    p.add_argument("--kind", default="bs",
-                   choices=[k.value for k in SignatureKind
-                            if k is not SignatureKind.PERFECT],
-                   help="signature design for --mode sizes")
-    p.add_argument("--sizes", type=int, nargs="+",
-                   default=[64, 256, 2048],
-                   help="signature bit sizes for --mode sizes")
-    p.add_argument("--bits", type=int, default=2048,
-                   help="signature bits for --mode designs")
-    p.add_argument("--granularity", type=int, default=1024,
-                   help="CBS macroblock bytes (sizes mode)")
-    p.add_argument("--threads", type=int, default=8)
-    p.add_argument("--units", type=int, default=2)
+    _add_spec_args(p)
     _add_jobs(p)
-    p.add_argument("--timeout", type=float, default=None,
-                   help="per-variant wall-clock timeout in seconds")
-    p.add_argument("--retries", type=int, default=1,
-                   help="relaunches after a worker crash (default: 1)")
     p.add_argument("--no-cache", action="store_true",
                    help="always execute; do not read or write the cache")
     p.add_argument("--cache-dir", default=None,
@@ -574,6 +726,77 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write per-variant Chrome trace + JSONL artifacts "
                         "into this directory (disables the cache)")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sweep service: HTTP job server over the engine")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--workers", type=int, default=2,
+                   help="persistent worker processes (default: 2)")
+    p.add_argument("--db", default="sweeps.db",
+                   help="SQLite job/result repository path "
+                        "(default: sweeps.db)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the shared on-disk result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro/sweeps)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds to let in-flight cells finish on "
+                        "SIGTERM/SIGINT (default: 30)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running service (see: repro serve)")
+    _add_spec_args(p)
+    p.add_argument("--url", default="http://127.0.0.1:8642",
+                   help="service endpoint (default: "
+                        "http://127.0.0.1:8642)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs earlier (default: 0)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal; exit 1 unless "
+                        "it finished 'done'")
+    p.add_argument("--wait-timeout", type=float, default=600.0,
+                   help="--wait limit in seconds (default: 600)")
+    p.add_argument("--follow", action="store_true",
+                   help="stream the job's NDJSON progress events until "
+                        "it is terminal (implies waiting)")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "jobs",
+        help="list/inspect/cancel jobs on a running service")
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job id to inspect (omit to list jobs)")
+    p.add_argument("--url", default="http://127.0.0.1:8642",
+                   help="service endpoint (default: "
+                        "http://127.0.0.1:8642)")
+    p.add_argument("--state", default=None,
+                   choices=["queued", "running", "done", "failed",
+                            "cancelled"],
+                   help="filter the listing by state")
+    p.add_argument("--limit", type=int, default=50,
+                   help="listing size (default: 50)")
+    p.add_argument("--results", action="store_true",
+                   help="show the job's per-cell results (digests)")
+    p.add_argument("--cancel", action="store_true",
+                   help="cancel the job")
+    p.set_defaults(fn=_cmd_jobs)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or prune the on-disk sweep result cache")
+    p.add_argument("action", choices=["stats", "prune"])
+    p.add_argument("--max-entries", type=int, default=None,
+                   help="prune: evict least-recently-used entries beyond "
+                        "this cap")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro/sweeps)")
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser(
         "trace",

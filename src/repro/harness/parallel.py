@@ -115,12 +115,25 @@ class ResultCache:
     label, cycle limit)`` tuple. Writes are atomic (temp file + rename), so
     concurrent sweeps sharing a cache directory are safe. Corrupt or
     unreadable entries count as misses and are re-executed.
+
+    ``max_entries`` bounds on-disk growth for long-running users (the
+    sweep service): once the store exceeds the cap, the least-recently
+    used entries (by mtime — hits touch their entry) are evicted back
+    down to it. ``None`` (the default) keeps the historical unbounded
+    behaviour; :meth:`prune` is also callable directly and backs
+    ``repro cache prune``.
     """
 
-    def __init__(self, root: Optional[object] = None) -> None:
+    def __init__(self, root: Optional[object] = None,
+                 max_entries: Optional[int] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evicted = 0
+        self._entry_count: Optional[int] = None  # lazily scanned
 
     def key(self, cfg: SystemConfig, fingerprint: str, seed: int,
             label: str, cycle_limit: int = DEFAULT_CYCLE_LIMIT,
@@ -146,15 +159,81 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(self._path(key))  # LRU touch: hits refresh recency
+        except OSError:
+            pass
         return result
 
     def store(self, key: str, result: RunResult) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        existed = path.exists()
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         with open(tmp, "wb") as fh:
             pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+        if self.max_entries is not None:
+            if self._entry_count is None:
+                self._entry_count = self._scan_count()
+            elif not existed:
+                self._entry_count += 1
+            if self._entry_count > self.max_entries:
+                self.prune()
+
+    def _entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return [p for p in self.root.glob("*/*.pkl")
+                if not p.name.startswith(".")]
+
+    def _scan_count(self) -> int:
+        return len(self._entries())
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk (always a fresh scan)."""
+        self._entry_count = self._scan_count()
+        return self._entry_count
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def prune(self, max_entries: Optional[int] = None) -> int:
+        """Evict least-recently-used entries beyond the cap; return count.
+
+        ``max_entries`` overrides the instance cap for this call (so
+        ``repro cache prune --max-entries N`` works on any cache dir).
+        Entries are ranked by mtime: loads touch their file, so recency
+        reflects use, not just creation. Races with concurrent writers
+        are benign — a vanished file is simply skipped.
+        """
+        cap = self.max_entries if max_entries is None else max_entries
+        if cap is None:
+            raise ValueError("prune needs a max_entries cap")
+        entries = []
+        for path in self._entries():
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                pass
+        entries.sort(key=lambda pair: pair[0])
+        evicted = 0
+        excess = len(entries) - cap
+        for _mtime, path in entries[:max(excess, 0)]:
+            try:
+                path.unlink()
+                evicted += 1
+            except OSError:
+                pass
+        self.evicted += evicted
+        self._entry_count = len(entries) - evicted
+        return evicted
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}
@@ -199,6 +278,8 @@ class TaskOutcome:
     wall_time: float = 0.0     # seconds spent executing (0.0 for cache hits)
     cached: bool = False
     attempts: int = 1          # worker launches consumed (0 for cache hits)
+    retries: int = 0           # relaunches after a crash/timeout (attempts-1)
+    timeouts: int = 0          # attempts that hit the wall-clock timeout
 
 
 def _run_task(task: RunTask) -> RunResult:
@@ -257,18 +338,25 @@ def execute_tasks(tasks: Iterable[RunTask],
                   jobs: Optional[int] = 1,
                   timeout: Optional[float] = None,
                   retries: int = 1,
-                  cache: Optional[ResultCache] = None
+                  cache: Optional[ResultCache] = None,
+                  retry_timeouts: bool = False
                   ) -> Dict[str, TaskOutcome]:
     """Execute every task; return outcomes keyed by task key, in task order.
 
     * Cache hits never launch a worker.
     * A worker that dies without reporting (crash, OOM-kill) is relaunched
       up to ``retries`` extra times; a task exceeding ``timeout`` seconds
-      is terminated and not retried (a deterministic simulation that timed
-      out once will time out again).
+      is terminated and by default not retried (a deterministic simulation
+      that timed out once will time out again). ``retry_timeouts=True``
+      relaunches timed-out tasks against the same ``retries`` budget — the
+      sweep service uses this because wall-clock timeouts on a loaded box
+      are *not* deterministic.
     * Failures do not abort the batch: remaining tasks still run, then one
       :class:`SweepExecutionError` summarises every failure and carries the
       completed sibling results.
+    * Each :class:`TaskOutcome` carries the execution metadata — wall
+      time, cache flag, ``attempts``/``retries``/``timeouts`` — that
+      ``run_parallel_sweep`` surfaces in ``SweepResult.meta``.
     """
     tasks = list(tasks)
     if len({t.key for t in tasks}) != len(tasks):
@@ -300,7 +388,8 @@ def execute_tasks(tasks: Iterable[RunTask],
             _execute_inline(pending, cache, outcomes, failures)
         else:
             _execute_in_processes(pending, jobs, timeout, retries, cache,
-                                  outcomes, failures)
+                                  outcomes, failures,
+                                  retry_timeouts=retry_timeouts)
 
     if failures:
         done = {key: out.result for key, out in outcomes.items()}
@@ -329,10 +418,12 @@ def _execute_inline(pending, cache, outcomes, failures) -> None:
 
 
 def _execute_in_processes(pending, jobs, timeout, retries, cache,
-                          outcomes, failures) -> None:
+                          outcomes, failures,
+                          retry_timeouts: bool = False) -> None:
     ctx = _mp_context()
     queue: List[Tuple[RunTask, Optional[str]]] = list(pending)
     attempts: Dict[str, int] = {}
+    timeout_counts: Dict[str, int] = {}
     running: Dict[str, dict] = {}
 
     def start(task: RunTask, cache_key: Optional[str]) -> None:
@@ -373,7 +464,9 @@ def _execute_in_processes(pending, jobs, timeout, retries, cache,
                     if status == "ok":
                         outcomes[key] = TaskOutcome(
                             key, payload, wall_time=wall,
-                            attempts=attempts[key])
+                            attempts=attempts[key],
+                            retries=attempts[key] - 1,
+                            timeouts=timeout_counts.get(key, 0))
                         if cache is not None and worker["cache_key"]:
                             cache.store(worker["cache_key"], payload)
                     else:
@@ -395,8 +488,13 @@ def _execute_in_processes(pending, jobs, timeout, retries, cache,
                         and time.perf_counter() - worker["started"] > timeout):
                     worker["proc"].terminate()
                     finish(key)
-                    failures[key] = (f"variant {task.label!r}: timed out "
-                                     f"after {timeout:g}s")
+                    timeout_counts[key] = timeout_counts.get(key, 0) + 1
+                    if retry_timeouts and attempts[key] <= retries:
+                        queue.append((task, worker["cache_key"]))
+                    else:
+                        failures[key] = (
+                            f"variant {task.label!r}: timed out after "
+                            f"{timeout:g}s ({attempts[key]} attempt(s))")
     finally:
         for worker in running.values():
             worker["proc"].terminate()
@@ -416,13 +514,14 @@ def run_parallel_sweep(variants, workload_factory,
                        timeout: Optional[float] = None,
                        retries: int = 1,
                        trace_dir: Optional[str] = None,
-                       verify: object = False):
+                       verify: object = False,
+                       retry_timeouts: bool = False):
     """Parallel/cached engine behind ``run_sweep(..., jobs=N)``.
 
     Produces a ``SweepResult`` equal to the serial one (results are stored
     in variant order regardless of completion order), with execution
     metadata in ``SweepResult.meta``: per-variant wall time, cache-hit
-    flags and attempt counts, plus batch totals.
+    flags, attempt/retry/timeout counts, plus batch totals.
 
     ``trace_dir`` writes per-variant trace artifacts (Chrome trace JSON +
     JSONL) into that directory and disables the cache for the batch — a
@@ -446,7 +545,8 @@ def run_parallel_sweep(variants, workload_factory,
              for label, cfg in variants]
     started = time.perf_counter()
     outcomes = execute_tasks(tasks, jobs=jobs, timeout=timeout,
-                             retries=retries, cache=cache)
+                             retries=retries, cache=cache,
+                             retry_timeouts=retry_timeouts)
     wall = time.perf_counter() - started
 
     sweep = SweepResult(baseline_label=baseline_label)
@@ -458,9 +558,13 @@ def run_parallel_sweep(variants, workload_factory,
         "wall_time": wall,
         "cache": {"hits": hits, "misses": len(outcomes) - hits,
                   "enabled": cache is not None},
+        "retries": sum(o.retries for o in outcomes.values()),
+        "timeouts": sum(o.timeouts for o in outcomes.values()),
         "variants": {label: {"cached": outcomes[label].cached,
                              "wall_time": outcomes[label].wall_time,
-                             "attempts": outcomes[label].attempts}
+                             "attempts": outcomes[label].attempts,
+                             "retries": outcomes[label].retries,
+                             "timeouts": outcomes[label].timeouts}
                      for label in labels},
     }
     return sweep

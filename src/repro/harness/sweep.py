@@ -102,7 +102,8 @@ def run_sweep(variants: Iterable[Variant],
               timeout: Optional[float] = None,
               retries: int = 1,
               trace_dir: Optional[str] = None,
-              verify: object = False) -> SweepResult:
+              verify: object = False,
+              retry_timeouts: bool = False) -> SweepResult:
     """Run the factory's workload under every variant configuration.
 
     ``jobs=1`` with no cache/timeout is the exact serial implementation.
@@ -118,6 +119,9 @@ def run_sweep(variants: Iterable[Variant],
     :func:`repro.harness.runner.run_workload`); findings land on each
     cell's ``RunResult.verify_violations`` and are part of the cached
     record (the cache key includes the verify mode).
+    ``retry_timeouts`` relaunches timed-out cells against the ``retries``
+    budget instead of failing them outright (parallel engine only; see
+    :func:`repro.harness.parallel.execute_tasks`).
     """
     if (jobs != 1 or cache is not None or timeout is not None
             or trace_dir is not None):
@@ -126,7 +130,8 @@ def run_sweep(variants: Iterable[Variant],
                                   baseline_label=baseline_label, jobs=jobs,
                                   cache=cache, timeout=timeout,
                                   retries=retries, trace_dir=trace_dir,
-                                  verify=verify)
+                                  verify=verify,
+                                  retry_timeouts=retry_timeouts)
     sweep = SweepResult(baseline_label=baseline_label)
     for label, cfg in variants:
         if label in sweep.results:

@@ -14,6 +14,9 @@ namespace  emitted by
 ``os.*``   OS model: scheduling, summary signatures, paging
 ``log.*``  undo log: appends and abort walks
 ``sim.*``  simulation kernel: process spawn/finish
+``svc.*``  sweep service: job lifecycle, cell dispatch, worker fleet
+           (wall-clock milliseconds, not virtual cycles — the service
+           runs outside any simulation)
 ========== =================================================================
 
 The taxonomy below is the contract between emitters and the analyzers in
@@ -29,7 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
 #: The recognized kind namespaces (the segment before the first dot).
-NAMESPACES: Tuple[str, ...] = ("tm", "coh", "net", "os", "log", "sim")
+NAMESPACES: Tuple[str, ...] = ("tm", "coh", "net", "os", "log", "sim",
+                               "svc")
 
 
 @dataclass(frozen=True)
@@ -120,6 +124,31 @@ TAXONOMY: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     # -- simulation kernel --------------------------------------------------
     "sim.spawn": ("process registered with the simulator", ("process",)),
     "sim.process_done": ("process generator finished", ("process",)),
+    # -- sweep service (wall-clock ms since service start) ------------------
+    "svc.job.submitted": ("sweep job accepted into the queue",
+                          ("job", "cells", "priority")),
+    "svc.job.started": ("job left the queue; cells being resolved",
+                        ("job",)),
+    "svc.job.done": ("every cell terminal, none failed",
+                     ("job", "executed", "cache_hits", "repo_hits")),
+    "svc.job.failed": ("one or more cells failed", ("job", "failed")),
+    "svc.job.cancelled": ("job cancelled (queued or mid-run)", ("job",)),
+    "svc.cell.dispatch": ("cell handed to a fleet worker",
+                          ("job", "label", "worker")),
+    "svc.cell.done": ("cell result stored",
+                      ("job", "label", "source", "wall_time", "attempts")),
+    "svc.cell.failed": ("cell exhausted its retry budget",
+                        ("job", "label", "reason")),
+    "svc.cell.requeued": ("cell re-queued after a crash or timeout",
+                          ("job", "label", "cause", "attempts")),
+    "svc.worker.spawn": ("fleet worker process started", ("worker",)),
+    "svc.worker.exit": ("fleet worker exited cleanly", ("worker",)),
+    "svc.worker.crash": ("fleet worker died mid-cell; cell re-queued",
+                         ("worker", "exitcode")),
+    "svc.worker.timeout": ("fleet worker exceeded the cell deadline",
+                           ("worker", "job", "label")),
+    "svc.drain": ("graceful shutdown: waiting for in-flight cells",
+                  ("busy",)),
 }
 
 

@@ -1,0 +1,354 @@
+"""Persistence: the run repository and durable job store (SQLite).
+
+Two responsibilities, one database file:
+
+* **Run repository** — every :class:`~repro.harness.runner.RunResult`
+  the service has ever produced (or imported from the on-disk
+  :class:`~repro.harness.parallel.ResultCache`), keyed by the *same*
+  content-address the cache uses. That shared key is the dedupe
+  mechanism: when a new submission contains a cell whose key is already
+  present — from any earlier submission — the stored result is served
+  and no worker runs. Results are stored as their canonical JSON record
+  plus a SHA-256 ``digest`` of it, so clients can compare runs across
+  submissions (and against the committed ``BENCH_*.json`` digests)
+  without transferring the records.
+
+* **Job store** — every submitted job (spec, priority, state-machine
+  timestamps) and its per-cell execution ledger (state, source,
+  attempts/retries/timeouts, wall time). Jobs survive a service
+  restart: :meth:`RunRepository.recover` re-queues anything left
+  ``queued`` or ``running`` by a previous process.
+
+SQLite is accessed through short-lived connections (WAL mode, busy
+timeout), so API handler threads, the scheduler thread, and external
+inspection tools can all touch the file concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.harness.runner import RunResult
+from repro.svc.spec import SweepSpec
+
+#: Job lifecycle states (the scheduler enforces the transitions).
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+#: Cell lifecycle states.
+CELL_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    cache_key   TEXT PRIMARY KEY,
+    digest      TEXT NOT NULL,
+    result_json TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    seq          INTEGER PRIMARY KEY AUTOINCREMENT,
+    id           TEXT UNIQUE,
+    spec_json    TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    priority     INTEGER NOT NULL DEFAULT 0,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    error        TEXT
+);
+CREATE TABLE IF NOT EXISTS cells (
+    job_id    TEXT NOT NULL,
+    label     TEXT NOT NULL,
+    cache_key TEXT NOT NULL,
+    state     TEXT NOT NULL,
+    source    TEXT,
+    attempts  INTEGER NOT NULL DEFAULT 0,
+    retries   INTEGER NOT NULL DEFAULT 0,
+    timeouts  INTEGER NOT NULL DEFAULT 0,
+    wall_time REAL NOT NULL DEFAULT 0,
+    error     TEXT,
+    PRIMARY KEY (job_id, label)
+);
+CREATE INDEX IF NOT EXISTS cells_by_key ON cells (cache_key);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state);
+"""
+
+
+def result_digest(record: Dict[str, Any]) -> str:
+    """Canonical SHA-256 of a JSON-safe result record.
+
+    Same canonicalization as the benchmark suite's ``result_digest``
+    (sorted keys, compact separators), so digests are comparable across
+    the service, ``repro bench``, and ad-hoc tooling.
+    """
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class RunRepository:
+    """SQLite-backed store of runs and jobs (see module docstring)."""
+
+    def __init__(self, path: object) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """Short-lived connection: commit (or roll back) and close."""
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    # -- runs (content-addressed results) ----------------------------------
+
+    def store_run(self, cache_key: str, result: RunResult) -> str:
+        """Persist one result; returns its digest.
+
+        First write wins (``INSERT OR IGNORE``): cells are deterministic
+        functions of their key, so a concurrent duplicate is identical
+        by construction and need not be rewritten.
+        """
+        record = result.to_dict()
+        digest = result_digest(record)
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO runs "
+                "(cache_key, digest, result_json, created_at) "
+                "VALUES (?, ?, ?, ?)",
+                (cache_key, digest, json.dumps(record), time.time()))
+        return digest
+
+    def load_run(self, cache_key: str) -> Optional[RunResult]:
+        record = self.load_run_record(cache_key)
+        if record is None:
+            return None
+        return RunResult.from_dict(record)
+
+    def load_run_record(self, cache_key: str) -> Optional[Dict[str, Any]]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT result_json FROM runs WHERE cache_key = ?",
+                (cache_key,)).fetchone()
+        if row is None:
+            return None
+        return json.loads(row["result_json"])
+
+    def run_digest(self, cache_key: str) -> Optional[str]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT digest FROM runs WHERE cache_key = ?",
+                (cache_key,)).fetchone()
+        return None if row is None else row["digest"]
+
+    def have_runs(self, cache_keys: Iterable[str]) -> Dict[str, bool]:
+        keys = list(cache_keys)
+        out = {key: False for key in keys}
+        with self._connect() as conn:
+            for key in keys:
+                row = conn.execute(
+                    "SELECT 1 FROM runs WHERE cache_key = ?",
+                    (key,)).fetchone()
+                out[key] = row is not None
+        return out
+
+    def run_count(self) -> int:
+        with self._connect() as conn:
+            return conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    # -- jobs --------------------------------------------------------------
+
+    def create_job(self, spec: SweepSpec, priority: int = 0,
+                   cache_keys: Optional[Dict[str, str]] = None
+                   ) -> Dict[str, Any]:
+        """Insert a job (state ``queued``) and its pending cell ledger.
+
+        Returns the job record. The job id is readable and collision
+        free: a monotonic sequence number plus a prefix of the spec
+        digest (``j000007-3fa9c1d2``).
+        """
+        spec_json = json.dumps(spec.to_dict(), sort_keys=True)
+        spec_digest = hashlib.sha256(
+            spec_json.encode("utf-8")).hexdigest()[:8]
+        keys = cache_keys if cache_keys is not None else spec.cache_keys()
+        now = time.time()
+        with self._connect() as conn:
+            cur = conn.execute(
+                "INSERT INTO jobs (id, spec_json, state, priority, "
+                "submitted_at) VALUES (NULL, ?, 'queued', ?, ?)",
+                (spec_json, priority, now))
+            job_id = f"j{cur.lastrowid:06d}-{spec_digest}"
+            conn.execute("UPDATE jobs SET id = ? WHERE seq = ?",
+                         (job_id, cur.lastrowid))
+            conn.executemany(
+                "INSERT INTO cells (job_id, label, cache_key, state) "
+                "VALUES (?, ?, ?, 'pending')",
+                [(job_id, label, key) for label, key in keys.items()])
+        return self.get_job(job_id)
+
+    def set_job_state(self, job_id: str, state: str,
+                      error: Optional[str] = None) -> None:
+        assert state in JOB_STATES, state
+        stamp = ("started_at" if state == "running" else
+                 "finished_at" if state in ("done", "failed", "cancelled")
+                 else None)
+        with self._connect() as conn:
+            if stamp:
+                conn.execute(
+                    f"UPDATE jobs SET state = ?, error = ?, {stamp} = ? "
+                    "WHERE id = ?", (state, error, time.time(), job_id))
+            else:
+                conn.execute(
+                    "UPDATE jobs SET state = ?, error = ? WHERE id = ?",
+                    (state, error, job_id))
+
+    def get_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._connect() as conn:
+            row = conn.execute("SELECT * FROM jobs WHERE id = ?",
+                               (job_id,)).fetchone()
+            if row is None:
+                return None
+            cells = conn.execute(
+                "SELECT * FROM cells WHERE job_id = ? ORDER BY rowid",
+                (job_id,)).fetchall()
+        return self._job_dict(row, cells)
+
+    def list_jobs(self, state: Optional[str] = None,
+                  limit: int = 50) -> List[Dict[str, Any]]:
+        query = "SELECT * FROM jobs"
+        params: Tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            params = (state,)
+        query += " ORDER BY seq DESC LIMIT ?"
+        with self._connect() as conn:
+            rows = conn.execute(query, params + (limit,)).fetchall()
+            counts = conn.execute(
+                "SELECT job_id, state, COUNT(*) AS n FROM cells "
+                "GROUP BY job_id, state").fetchall()
+        by_job: Dict[str, Dict[str, int]] = {}
+        for entry in counts:
+            by_job.setdefault(entry["job_id"], {})[entry["state"]] = \
+                entry["n"]
+        jobs = []
+        for row in rows:
+            job = self._job_dict(row, None)
+            job["cell_counts"] = by_job.get(row["id"], {})
+            jobs.append(job)
+        return jobs
+
+    @staticmethod
+    def _job_dict(row: sqlite3.Row,
+                  cells: Optional[List[sqlite3.Row]]) -> Dict[str, Any]:
+        out = {
+            "id": row["id"], "state": row["state"],
+            "priority": row["priority"],
+            "spec": json.loads(row["spec_json"]),
+            "submitted_at": row["submitted_at"],
+            "started_at": row["started_at"],
+            "finished_at": row["finished_at"],
+            "error": row["error"],
+        }
+        if cells is not None:
+            out["cells"] = [
+                {"label": c["label"], "state": c["state"],
+                 "source": c["source"], "attempts": c["attempts"],
+                 "retries": c["retries"], "timeouts": c["timeouts"],
+                 "wall_time": c["wall_time"], "error": c["error"],
+                 "cache_key": c["cache_key"]}
+                for c in cells]
+            counts: Dict[str, int] = {}
+            for cell in out["cells"]:
+                counts[cell["state"]] = counts.get(cell["state"], 0) + 1
+            out["cell_counts"] = counts
+        return out
+
+    # -- cells -------------------------------------------------------------
+
+    def update_cell(self, job_id: str, label: str, **fields: Any) -> None:
+        allowed = {"state", "source", "attempts", "retries", "timeouts",
+                   "wall_time", "error"}
+        unknown = set(fields) - allowed
+        assert not unknown, unknown
+        sets = ", ".join(f"{name} = ?" for name in fields)
+        with self._connect() as conn:
+            conn.execute(
+                f"UPDATE cells SET {sets} WHERE job_id = ? AND label = ?",
+                tuple(fields.values()) + (job_id, label))
+
+    def cells_in_state(self, job_id: str, state: str) -> List[str]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT label FROM cells WHERE job_id = ? AND state = ? "
+                "ORDER BY rowid", (job_id, state)).fetchall()
+        return [row["label"] for row in rows]
+
+    def results_for_job(self, job_id: str,
+                        labels: Optional[Iterable[str]] = None
+                        ) -> Dict[str, Dict[str, Any]]:
+        """label -> {result record, digest, execution metadata}.
+
+        Only terminal cells appear; a cell whose run record is missing
+        (failed/cancelled) carries ``result: None``.
+        """
+        wanted = set(labels) if labels is not None else None
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT c.*, r.digest AS digest, "
+                "r.result_json AS result_json "
+                "FROM cells c LEFT JOIN runs r "
+                "ON c.cache_key = r.cache_key "
+                "WHERE c.job_id = ? ORDER BY c.rowid", (job_id,)).fetchall()
+        out: Dict[str, Dict[str, Any]] = {}
+        for row in rows:
+            if wanted is not None and row["label"] not in wanted:
+                continue
+            done = row["state"] == "done"
+            out[row["label"]] = {
+                "state": row["state"],
+                "source": row["source"],
+                "attempts": row["attempts"],
+                "retries": row["retries"],
+                "timeouts": row["timeouts"],
+                "wall_time": row["wall_time"],
+                "error": row["error"],
+                "digest": row["digest"] if done else None,
+                "result": (json.loads(row["result_json"])
+                           if done and row["result_json"] else None),
+            }
+        return out
+
+    # -- restart recovery --------------------------------------------------
+
+    def recover(self) -> List[Dict[str, Any]]:
+        """Re-queue jobs a previous process left unfinished.
+
+        ``running`` jobs go back to ``queued`` and their ``running``
+        cells back to ``pending`` (results already persisted keep their
+        cells ``done``, so recovered jobs only re-run what was actually
+        in flight). Returns the jobs now queued, oldest first.
+        """
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE cells SET state = 'pending' WHERE state = 'running' "
+                "AND job_id IN (SELECT id FROM jobs WHERE state IN "
+                "('queued', 'running'))")
+            conn.execute(
+                "UPDATE jobs SET state = 'queued', started_at = NULL "
+                "WHERE state = 'running'")
+            rows = conn.execute(
+                "SELECT * FROM jobs WHERE state = 'queued' "
+                "ORDER BY seq").fetchall()
+        return [self._job_dict(row, None) for row in rows]

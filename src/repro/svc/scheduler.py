@@ -1,0 +1,115 @@
+"""Scheduling: the durable job queue and its state machine.
+
+:class:`JobQueue` is a thread-safe priority+FIFO queue of job ids.
+Priority orders first (higher runs earlier); within a priority class,
+submission order wins. The queue holds only ids — the job records
+themselves live in the :class:`~repro.svc.repository.RunRepository`,
+which is what makes the queue *durable*: a restarted service rebuilds
+it from the repository's ``queued`` rows (:meth:`JobQueue.restore`).
+
+The legal state machine, enforced by :func:`check_transition`::
+
+    queued ──> running ──> done
+       │          │  └───> failed
+       │          └──────> cancelled     (DELETE mid-run)
+       └─────────────────> cancelled     (DELETE while queued)
+
+Terminal states (``done`` / ``failed`` / ``cancelled``) admit no
+further transitions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+
+#: state -> states it may legally move to.
+TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    "queued": ("running", "cancelled"),
+    "running": ("done", "failed", "cancelled"),
+    "done": (),
+    "failed": (),
+    "cancelled": (),
+}
+
+
+class StateError(ReproError):
+    """An illegal job state transition was attempted."""
+
+
+def check_transition(old: str, new: str) -> None:
+    """Raise :class:`StateError` unless ``old -> new`` is legal."""
+    if old not in TRANSITIONS:
+        raise StateError(f"unknown job state {old!r}")
+    if new not in TRANSITIONS:
+        raise StateError(f"unknown job state {new!r}")
+    if new not in TRANSITIONS[old]:
+        raise StateError(f"illegal transition {old!r} -> {new!r}")
+
+
+class JobQueue:
+    """Thread-safe priority+FIFO queue of job ids.
+
+    ``push`` wakes one waiting ``pop``; ``pop`` blocks (with optional
+    timeout) until a job or :meth:`close`. ``remove`` supports
+    cancellation of still-queued jobs in O(n) — queues are human-scale
+    (thousands), not packet-scale.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, str]] = []
+        self._removed: set = set()
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, job_id: str, priority: int = 0) -> None:
+        with self._cond:
+            if self._closed:
+                raise StateError("queue is closed")
+            heapq.heappush(self._heap, (-priority, next(self._seq), job_id))
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Next job id by (priority, FIFO); None on timeout or close."""
+        with self._cond:
+            while True:
+                while self._heap:
+                    _neg, _seq, job_id = heapq.heappop(self._heap)
+                    if job_id in self._removed:
+                        self._removed.discard(job_id)
+                        continue
+                    return job_id
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def remove(self, job_id: str) -> bool:
+        """Lazily drop a queued job (cancellation); True if it was queued."""
+        with self._cond:
+            present = any(jid == job_id and jid not in self._removed
+                          for _p, _s, jid in self._heap)
+            if present:
+                self._removed.add(job_id)
+            return present
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._heap) - len(self._removed)
+
+    def close(self) -> None:
+        """Wake all waiters; subsequent pops drain then return None."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def restore(self, jobs: List[dict]) -> int:
+        """Refill from recovered repository rows (oldest first)."""
+        for job in jobs:
+            self.push(job["id"], priority=job.get("priority", 0))
+        return len(jobs)

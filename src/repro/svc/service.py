@@ -1,0 +1,420 @@
+"""The sweep service: queue + fleet + repository + cache, orchestrated.
+
+:class:`SweepService` is the hub every other ``repro.svc`` module plugs
+into. A submission flows through it as::
+
+    POST /sweeps ──> SweepSpec ──> RunRepository.create_job (queued)
+                                        │
+                 JobQueue (priority+FIFO, durable via the repository)
+                                        │
+                scheduler thread: for each cell of the job
+                    repository hit? ──────────────> cell done (repo)
+                    ResultCache hit? ─> store+done  (cache)
+                    else ─> WorkerFleet.dispatch ─> run ─> store+done
+                                        │
+                    crash/timeout ─> re-queue (retry budget) or failed
+
+Progress is published on a :class:`repro.obs.bus.EventBus` (``svc.*``
+events, wall-clock milliseconds since service start) feeding a global
+ring buffer, per-job event logs (the ``/events`` NDJSON endpoint), and
+a :class:`repro.obs.metrics.MetricsRegistry` (queue depth, cells/sec,
+cache hit rate, worker restarts — the ``/metrics`` endpoint).
+
+Execution semantics are inherited from the parallel engine: per-cell
+timeout and retry budgets (``SweepSpec.timeout`` / ``retries``),
+crashes re-queued, worker exceptions terminal (a deterministic model
+error will not heal on retry). Timeouts *are* retried here — unlike
+the one-shot CLI default — because wall-clock deadlines on a shared
+box are not deterministic (see ``execute_tasks(retry_timeouts=)``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.common.errors import ReproError
+from repro.harness.parallel import ResultCache
+from repro.obs.bus import EventBus, RingBufferLog
+from repro.obs.events import Event
+from repro.obs.metrics import MetricsRegistry
+from repro.svc.repository import RunRepository
+from repro.svc.scheduler import JobQueue, check_transition
+from repro.svc.spec import CellTask, SweepSpec
+from repro.svc.workers import WorkerFleet
+
+#: Events kept per job for the ``/events`` endpoint.
+MAX_JOB_EVENTS = 10_000
+
+
+class ServiceError(ReproError):
+    """A request the service cannot honour (unknown job, bad state...)."""
+
+
+class SweepService:
+    """A persistent sweep job server over the parallel engine."""
+
+    def __init__(self, db_path: object,
+                 workers: int = 2,
+                 cache: Optional[ResultCache] = None,
+                 drain_timeout: float = 10.0) -> None:
+        self.repository = RunRepository(db_path)
+        self.queue = JobQueue()
+        self.cache = cache
+        self.drain_timeout = drain_timeout
+        self._t0 = time.monotonic()
+        self.bus = EventBus(clock=self._clock, strict=True)
+        self.metrics = MetricsRegistry()
+        self.log = RingBufferLog(max_events=100_000)
+        self.bus.subscribe(self.log)
+        self.bus.subscribe(self.metrics)
+        self.bus.subscribe(self._job_event_sink)
+        self.fleet = WorkerFleet(workers, emit=self._emit)
+        self._job_events: Dict[str, List[Event]] = {}
+        self._events_lock = threading.Lock()
+        self._cancel_requested: set = set()
+        self._cancel_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._scheduler: Optional[threading.Thread] = None
+        self._current_job: Optional[str] = None
+
+    # -- observability plumbing -------------------------------------------
+
+    def _clock(self) -> int:
+        return int((time.monotonic() - self._t0) * 1000)
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        fields.setdefault("ts", round(time.time(), 3))
+        self.bus.record(kind, **fields)
+
+    def _job_event_sink(self, event: Event) -> None:
+        job_id = event.fields.get("job")
+        if job_id is None:
+            return
+        with self._events_lock:
+            events = self._job_events.setdefault(job_id, [])
+            if len(events) < MAX_JOB_EVENTS:
+                events.append(event)
+
+    def job_events(self, job_id: str, since: int = 0) -> List[Event]:
+        """The job's recorded events from index ``since`` onward."""
+        with self._events_lock:
+            return list(self._job_events.get(job_id, [])[since:])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Recover unfinished jobs, start the fleet and scheduler."""
+        recovered = self.repository.recover()
+        self.queue.restore(recovered)
+        self.metrics.gauge("svc.queue.depth").set(self.queue.depth())
+        self.fleet.start()
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="svc-scheduler", daemon=True)
+        self._scheduler.start()
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the service; with ``drain``, let in-flight cells finish.
+
+        Queued jobs stay queued in the repository, and the interrupted
+        job (if any) is normalized back to ``queued`` with its finished
+        cells kept — a restarted service resumes exactly where this one
+        stopped.
+        """
+        timeout = self.drain_timeout if timeout is None else timeout
+        self._emit("svc.drain", busy=self.fleet.busy_count())
+        self._stop.set()
+        self.queue.close()
+        if self._scheduler is not None:
+            self._scheduler.join(timeout=timeout + 5.0)
+        if drain:
+            for message in self.fleet.drain(timeout=timeout):
+                if message.kind == "done":
+                    self._store_late_result(message.task, message.result)
+        else:
+            self.fleet.stop()
+        self.repository.recover()  # normalize interrupted state to queued
+
+    def _store_late_result(self, task: CellTask, result) -> None:
+        """Persist a result that arrived while draining."""
+        self.repository.store_run(task.cache_key, result)
+        if self.cache is not None:
+            self.cache.store(task.cache_key, result)
+        self.repository.update_cell(task.job_id, task.label,
+                                    state="done", source="executed")
+
+    # -- client surface ----------------------------------------------------
+
+    def submit(self, spec_data: Dict[str, Any],
+               priority: int = 0) -> Dict[str, Any]:
+        """Validate, persist, and enqueue one sweep; returns the job."""
+        spec = (spec_data if isinstance(spec_data, SweepSpec)
+                else SweepSpec.from_dict(spec_data))
+        job = self.repository.create_job(spec, priority=priority,
+                                         cache_keys=spec.cache_keys())
+        self.queue.push(job["id"], priority=priority)
+        self.metrics.counter("svc.jobs.submitted").add()
+        self.metrics.gauge("svc.queue.depth").set(self.queue.depth())
+        self._emit("svc.job.submitted", job=job["id"],
+                   cells=len(job["cells"]), priority=priority)
+        return job
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        job = self.repository.get_job(job_id)
+        if job is None:
+            raise ServiceError(f"no such job: {job_id}")
+        return job
+
+    def jobs(self, state: Optional[str] = None,
+             limit: int = 50) -> List[Dict[str, Any]]:
+        return self.repository.list_jobs(state=state, limit=limit)
+
+    def results(self, job_id: str,
+                labels: Optional[Iterable[str]] = None
+                ) -> Dict[str, Dict[str, Any]]:
+        self.job(job_id)  # raises on unknown id
+        return self.repository.results_for_job(job_id, labels=labels)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued or running job; terminal jobs are an error."""
+        job = self.job(job_id)
+        if job["state"] in ("done", "failed", "cancelled"):
+            raise ServiceError(
+                f"job {job_id} is already {job['state']}")
+        with self._cancel_lock:
+            self._cancel_requested.add(job_id)
+        if self.queue.remove(job_id):
+            # Still queued: finalize here; the scheduler never sees it.
+            check_transition("queued", "cancelled")
+            self._finalize_cancel(job_id)
+        self.metrics.gauge("svc.queue.depth").set(self.queue.depth())
+        return self.job(job_id)
+
+    def _finalize_cancel(self, job_id: str) -> None:
+        for label in self.repository.cells_in_state(job_id, "pending"):
+            self.repository.update_cell(job_id, label, state="cancelled")
+        for label in self.repository.cells_in_state(job_id, "running"):
+            self.repository.update_cell(job_id, label, state="cancelled")
+        self.repository.set_job_state(job_id, "cancelled")
+        self.metrics.counter("svc.jobs.cancelled").add()
+        self._emit("svc.job.cancelled", job=job_id)
+        with self._cancel_lock:
+            self._cancel_requested.discard(job_id)
+
+    def _cancelled(self, job_id: str) -> bool:
+        with self._cancel_lock:
+            return job_id in self._cancel_requested
+
+    # -- health / metrics --------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._t0, 3),
+            "workers_alive": self.fleet.alive_count(),
+            "queue_depth": self.queue.depth(),
+            "current_job": self._current_job,
+            "runs_stored": self.repository.run_count(),
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        uptime = max(time.monotonic() - self._t0, 1e-9)
+        executed = snapshot.get("svc.cells.executed", 0)
+        cache_hits = (snapshot.get("svc.cells.cache_hits", 0)
+                      + snapshot.get("svc.cells.repo_hits", 0))
+        resolved = executed + cache_hits
+        snapshot["svc.uptime_seconds"] = round(uptime, 3)
+        snapshot["svc.cells.per_second"] = round(resolved / uptime, 6)
+        snapshot["svc.cache.hit_rate"] = (
+            round(cache_hits / resolved, 6) if resolved else 0.0)
+        snapshot["svc.workers.alive"] = self.fleet.alive_count()
+        snapshot["svc.workers.restarts"] = self.fleet.restarts
+        snapshot["svc.queue.depth"] = self.queue.depth()
+        return snapshot
+
+    # -- the scheduler loop ------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while not self._stop.is_set():
+            job_id = self.queue.pop(timeout=0.2)
+            self.metrics.gauge("svc.queue.depth").set(self.queue.depth())
+            if job_id is None:
+                continue
+            if self._cancelled(job_id):
+                self._finalize_cancel(job_id)
+                continue
+            self._current_job = job_id
+            try:
+                self._run_job(job_id)
+            except Exception as exc:  # defensive: keep the loop alive
+                self.repository.set_job_state(job_id, "failed",
+                                              error=repr(exc))
+                self.metrics.counter("svc.jobs.failed").add()
+                self._emit("svc.job.failed", job=job_id, failed=-1)
+            finally:
+                self._current_job = None
+
+    def _run_job(self, job_id: str) -> None:
+        job = self.repository.get_job(job_id)
+        if job is None or job["state"] != "queued":
+            return
+        check_transition("queued", "running")
+        self.repository.set_job_state(job_id, "running")
+        self._emit("svc.job.started", job=job_id)
+        spec = SweepSpec.from_dict(job["spec"])
+        keys = {cell["label"]: cell["cache_key"] for cell in job["cells"]}
+
+        # Resolve what we can without running anything: repository first
+        # (cross-submission dedupe), then the on-disk cache. Cells a
+        # previous incarnation already finished (restart recovery) are
+        # skipped outright.
+        pending: List[str] = []
+        for cell in job["cells"]:
+            if cell["state"] != "pending":
+                continue
+            label = cell["label"]
+            if not self._resolve_without_execution(job_id, label,
+                                                   keys[label]):
+                pending.append(label)
+
+        attempts: Dict[str, int] = {}
+        timeouts: Dict[str, int] = {}
+        inflight: set = set()
+        interrupted = False
+
+        while pending or inflight:
+            if self._cancelled(job_id):
+                for task in self.fleet.terminate_job(job_id):
+                    inflight.discard(task.label)
+                self._finalize_cancel(job_id)
+                return
+            if self._stop.is_set():
+                interrupted = True
+                if not inflight:
+                    break
+            else:
+                while pending and self.fleet.idle_count() > 0:
+                    label = pending.pop(0)
+                    task = CellTask(job_id=job_id, label=label,
+                                    spec=spec, cache_key=keys[label])
+                    worker_id = self.fleet.dispatch(task,
+                                                    timeout=spec.timeout)
+                    if worker_id is None:
+                        pending.insert(0, label)
+                        break
+                    attempts[label] = attempts.get(label, 0) + 1
+                    inflight.add(label)
+                    self.repository.update_cell(
+                        job_id, label, state="running",
+                        attempts=attempts[label],
+                        retries=attempts[label] - 1,
+                        timeouts=timeouts.get(label, 0))
+                    self._emit("svc.cell.dispatch", job=job_id,
+                               label=label, worker=worker_id)
+            for message in self.fleet.poll(wait=0.05):
+                label = message.task.label
+                if message.task.job_id != job_id:
+                    continue  # a cancelled predecessor's stray result
+                inflight.discard(label)
+                if message.kind == "done":
+                    self._record_done(message.task, message.result,
+                                      source="executed",
+                                      wall_time=message.wall_time,
+                                      attempts=attempts.get(label, 1),
+                                      timeouts=timeouts.get(label, 0))
+                elif message.kind == "error":
+                    self._record_failed(job_id, label, message.error)
+                elif message.kind in ("crashed", "timeout"):
+                    if message.kind == "timeout":
+                        timeouts[label] = timeouts.get(label, 0) + 1
+                        self.metrics.counter("svc.worker.timeouts").add()
+                    if attempts.get(label, 0) <= spec.retries:
+                        pending.append(label)
+                        self.metrics.counter("svc.cells.requeued").add()
+                        self._emit("svc.cell.requeued", job=job_id,
+                                   label=label, cause=message.kind,
+                                   attempts=attempts.get(label, 0))
+                    else:
+                        reason = (
+                            f"worker {message.kind} after "
+                            f"{attempts.get(label, 0)} attempt(s)"
+                            + (f" (exit code {message.exitcode})"
+                               if message.exitcode is not None else ""))
+                        self._record_failed(job_id, label, reason)
+
+        if interrupted:
+            return  # shutdown(): recover() will re-queue this job
+        ledger = self.repository.get_job(job_id)
+        failed = ledger["cell_counts"].get("failed", 0)
+        if failed:
+            check_transition("running", "failed")
+            self.repository.set_job_state(
+                job_id, "failed", error=f"{failed} cell(s) failed")
+            self.metrics.counter("svc.jobs.failed").add()
+            self._emit("svc.job.failed", job=job_id, failed=failed)
+        else:
+            check_transition("running", "done")
+            self.repository.set_job_state(job_id, "done")
+            self.metrics.counter("svc.jobs.done").add()
+            self._emit(
+                "svc.job.done", job=job_id,
+                executed=sum(1 for c in ledger["cells"]
+                             if c["source"] == "executed"),
+                cache_hits=sum(1 for c in ledger["cells"]
+                               if c["source"] == "cache"),
+                repo_hits=sum(1 for c in ledger["cells"]
+                              if c["source"] == "repository"))
+
+    # -- cell resolution ---------------------------------------------------
+
+    def _resolve_without_execution(self, job_id: str, label: str,
+                                   cache_key: str) -> bool:
+        """Serve a cell from the repository or cache; True if satisfied."""
+        record = self.repository.load_run(cache_key)
+        if record is not None:
+            if self.cache is not None and self.cache.load(cache_key) is None:
+                self.cache.store(cache_key, record)
+            self.repository.update_cell(job_id, label, state="done",
+                                        source="repository")
+            self.metrics.counter("svc.cells.repo_hits").add()
+            self._emit("svc.cell.done", job=job_id, label=label,
+                       source="repository", wall_time=0.0, attempts=0)
+            return True
+        if self.cache is not None:
+            result = self.cache.load(cache_key)
+            if result is not None:
+                self.repository.store_run(cache_key, result)
+                self.repository.update_cell(job_id, label, state="done",
+                                            source="cache")
+                self.metrics.counter("svc.cells.cache_hits").add()
+                self._emit("svc.cell.done", job=job_id, label=label,
+                           source="cache", wall_time=0.0, attempts=0)
+                return True
+        return False
+
+    def _record_done(self, task: CellTask, result, source: str,
+                     wall_time: float, attempts: int,
+                     timeouts: int) -> None:
+        self.repository.store_run(task.cache_key, result)
+        if self.cache is not None:
+            self.cache.store(task.cache_key, result)
+        self.repository.update_cell(
+            task.job_id, task.label, state="done", source=source,
+            attempts=attempts, retries=max(attempts - 1, 0),
+            timeouts=timeouts, wall_time=wall_time)
+        self.metrics.counter("svc.cells.executed").add()
+        self._emit("svc.cell.done", job=task.job_id, label=task.label,
+                   source=source, wall_time=round(wall_time, 6),
+                   attempts=attempts)
+
+    def _record_failed(self, job_id: str, label: str,
+                       reason: Optional[str]) -> None:
+        reason = reason or "unknown failure"
+        self.repository.update_cell(job_id, label, state="failed",
+                                    error=reason)
+        self.metrics.counter("svc.cells.failed").add()
+        self._emit("svc.cell.failed", job=job_id, label=label,
+                   reason=reason.strip().splitlines()[-1])

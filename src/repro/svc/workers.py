@@ -1,0 +1,340 @@
+"""Worker fleet: persistent simulator worker processes.
+
+The parallel engine in :mod:`repro.harness.parallel` launches one
+process per task and lets it die; a long-running service amortizes
+process startup across jobs instead. :class:`WorkerFleet` keeps a fixed
+pool of worker processes alive, each connected to the parent by a
+duplex pipe:
+
+* **dispatch** — the parent assigns a :class:`~repro.svc.spec.CellTask`
+  to an idle worker (tasks are spec+label pairs, picklable under both
+  ``fork`` and ``spawn`` start methods);
+* **heartbeat** — an idle worker pings every
+  :data:`HEARTBEAT_INTERVAL` seconds; a busy worker is monitored by
+  process liveness and its cell deadline;
+* **reap** — a worker that dies mid-cell is detected (``is_alive`` +
+  broken pipe), its cell reported back as *crashed* so the scheduler
+  can re-queue it, and a replacement worker is spawned to keep the
+  fleet at strength; a worker past its cell deadline is terminated the
+  same way and reported as *timeout*;
+* **drain** — graceful shutdown: idle workers get a sentinel and exit
+  cleanly, busy workers get until ``timeout`` to finish their cell
+  (results are still delivered), stragglers are terminated.
+
+The fleet is deliberately policy-free: *what* to do with a crash or
+timeout (retry budgets, failure records) is the scheduler's decision in
+:mod:`repro.svc.service`; the fleet only detects and reports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Optional
+
+from repro.svc.spec import CellTask
+
+#: Seconds between idle-worker heartbeats.
+HEARTBEAT_INTERVAL = 1.0
+
+
+def _fleet_worker(worker_id: int, conn) -> None:  # pragma: no cover - child
+    """Worker main loop: heartbeat while idle, run cells, exit on None."""
+    try:
+        while True:
+            while not conn.poll(HEARTBEAT_INTERVAL):
+                conn.send(("hb", worker_id))
+            task = conn.recv()
+            if task is None:
+                conn.send(("bye", worker_id))
+                return
+            try:
+                result = task.run()
+            except BaseException:
+                conn.send(("error", worker_id, task,
+                           traceback.format_exc()))
+            else:
+                conn.send(("done", worker_id, task, result))
+    except (EOFError, OSError, BrokenPipeError):
+        return  # parent went away; nothing useful left to do
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class FleetMessage:
+    """One scheduler-relevant fleet occurrence (see ``kind``).
+
+    kinds: ``done`` (result attached), ``error`` (worker raised;
+    traceback in ``error``), ``crashed`` (worker died mid-cell),
+    ``timeout`` (worker terminated past its cell deadline).
+    """
+
+    kind: str
+    task: CellTask
+    worker_id: int
+    result: Optional[object] = None
+    error: Optional[str] = None
+    exitcode: Optional[int] = None
+    wall_time: float = 0.0
+
+
+class _Worker:
+    """Parent-side record of one fleet worker process."""
+
+    __slots__ = ("worker_id", "proc", "conn", "task", "started",
+                 "deadline", "last_seen", "cells_done", "draining")
+
+    def __init__(self, worker_id: int, proc, conn) -> None:
+        self.worker_id = worker_id
+        self.proc = proc
+        self.conn = conn
+        self.task: Optional[CellTask] = None
+        self.started = 0.0
+        self.deadline: Optional[float] = None
+        self.last_seen = time.monotonic()
+        self.cells_done = 0
+        self.draining = False
+
+
+class WorkerFleet:
+    """Spawn/heartbeat/reap a pool of simulator worker processes."""
+
+    def __init__(self, size: int,
+                 emit: Optional[Callable[..., None]] = None) -> None:
+        if size < 1:
+            raise ValueError(f"fleet size must be >= 1, got {size}")
+        self.size = size
+        self._emit = emit or (lambda kind, **fields: None)
+        self._ctx = _mp_context()
+        self._workers: Dict[int, _Worker] = {}
+        self._next_id = 0
+        self.restarts = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._started = True
+        while len(self._workers) < self.size:
+            self._spawn()
+
+    def _spawn(self) -> _Worker:
+        worker_id = self._next_id
+        self._next_id += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(target=_fleet_worker,
+                                 args=(worker_id, child_conn),
+                                 name=f"svc-worker-{worker_id}")
+        proc.daemon = True
+        proc.start()
+        child_conn.close()
+        worker = _Worker(worker_id, proc, parent_conn)
+        self._workers[worker_id] = worker
+        self._emit("svc.worker.spawn", worker=worker_id)
+        return worker
+
+    def _reap(self, worker: _Worker) -> None:
+        self._workers.pop(worker.worker_id, None)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+        worker.proc.join()
+
+    def alive_count(self) -> int:
+        return sum(1 for w in self._workers.values() if w.proc.is_alive())
+
+    def idle_count(self) -> int:
+        return sum(1 for w in self._workers.values()
+                   if w.task is None and not w.draining
+                   and w.proc.is_alive())
+
+    def busy_count(self) -> int:
+        return sum(1 for w in self._workers.values() if w.task is not None)
+
+    def busy_tasks(self) -> List[CellTask]:
+        return [w.task for w in self._workers.values()
+                if w.task is not None]
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, task: CellTask,
+                 timeout: Optional[float] = None) -> Optional[int]:
+        """Hand a cell to an idle worker; its id, or None if saturated.
+
+        ``timeout`` is the cell's wall-clock budget in seconds; the
+        worker is terminated (and the cell reported as ``timeout``) if
+        it is still running past it.
+        """
+        for worker in self._workers.values():
+            if worker.task is None and not worker.draining \
+                    and worker.proc.is_alive():
+                worker.task = task
+                worker.started = time.monotonic()
+                worker.deadline = (worker.started + timeout
+                                   if timeout is not None else None)
+                try:
+                    worker.conn.send(task)
+                except (OSError, BrokenPipeError):
+                    worker.task = None
+                    continue  # dying worker; the next poll reaps it
+                return worker.worker_id
+        return None
+
+    # -- monitoring --------------------------------------------------------
+
+    def poll(self, wait: float = 0.05) -> List[FleetMessage]:
+        """Collect finished cells, crashes, and timeouts; keep strength.
+
+        Blocks up to ``wait`` seconds for worker traffic, then performs
+        one sweep of message draining, liveness checks, deadline
+        enforcement, and respawning (unless draining).
+        """
+        conns = [w.conn for w in self._workers.values()]
+        if conns:
+            try:
+                mp_connection.wait(conns, timeout=wait)
+            except OSError:
+                pass
+        messages: List[FleetMessage] = []
+        for worker in list(self._workers.values()):
+            messages.extend(self._poll_worker(worker))
+        if self._started:
+            live = sum(1 for w in self._workers.values()
+                       if w.proc.is_alive() or w.draining)
+            while live < self.size:
+                self._spawn()
+                self.restarts += 1
+                live += 1
+        return messages
+
+    def _poll_worker(self, worker: _Worker) -> List[FleetMessage]:
+        messages: List[FleetMessage] = []
+        # Drain everything the worker has sent.
+        while True:
+            try:
+                if not worker.conn.poll():
+                    break
+                payload = worker.conn.recv()
+            except (EOFError, OSError):
+                break  # died mid-send; the liveness check below handles it
+            kind = payload[0]
+            if kind == "hb":
+                worker.last_seen = time.monotonic()
+            elif kind == "bye":
+                worker.draining = True
+            elif kind in ("done", "error"):
+                _kind, _wid, task, tail = payload
+                wall = time.monotonic() - worker.started
+                worker.task = None
+                worker.deadline = None
+                worker.last_seen = time.monotonic()
+                worker.cells_done += 1
+                if kind == "done":
+                    messages.append(FleetMessage(
+                        "done", task, worker.worker_id, result=tail,
+                        wall_time=wall))
+                else:
+                    messages.append(FleetMessage(
+                        "error", task, worker.worker_id, error=tail,
+                        wall_time=wall))
+        if not worker.proc.is_alive():
+            exitcode = worker.proc.exitcode
+            task = worker.task
+            self._reap(worker)
+            if worker.draining and task is None:
+                self._emit("svc.worker.exit", worker=worker.worker_id)
+            else:
+                self._emit("svc.worker.crash", worker=worker.worker_id,
+                           exitcode=exitcode)
+                if task is not None:
+                    messages.append(FleetMessage(
+                        "crashed", task, worker.worker_id,
+                        exitcode=exitcode,
+                        wall_time=time.monotonic() - worker.started))
+            return messages
+        if (worker.deadline is not None and worker.task is not None
+                and time.monotonic() > worker.deadline):
+            task = worker.task
+            self._emit("svc.worker.timeout", worker=worker.worker_id,
+                       job=task.job_id, label=task.label)
+            self._reap(worker)
+            messages.append(FleetMessage(
+                "timeout", task, worker.worker_id,
+                wall_time=time.monotonic() - worker.started))
+        return messages
+
+    # -- cancellation / shutdown ------------------------------------------
+
+    def terminate_job(self, job_id: str) -> List[CellTask]:
+        """Kill workers running the job's cells; return the killed cells.
+
+        Replacement workers are spawned on the next :meth:`poll`, so a
+        cancelled job does not shrink the fleet.
+        """
+        killed: List[CellTask] = []
+        for worker in list(self._workers.values()):
+            if worker.task is not None and worker.task.job_id == job_id:
+                killed.append(worker.task)
+                worker.task = None
+                self._reap(worker)
+        return killed
+
+    def drain(self, timeout: float = 10.0) -> List[FleetMessage]:
+        """Graceful shutdown: finish in-flight cells, then stop everyone.
+
+        Returns any messages (completions included) collected while
+        draining, so the caller can persist late results.
+        """
+        self._started = False  # no respawns from here on
+        deadline = time.monotonic() + timeout
+        messages: List[FleetMessage] = []
+        for worker in self._workers.values():
+            if worker.task is None and not worker.draining:
+                worker.draining = True
+                try:
+                    worker.conn.send(None)
+                except (OSError, BrokenPipeError):
+                    pass
+        while self._workers and time.monotonic() < deadline:
+            messages.extend(self.poll(wait=0.05))
+            for worker in self._workers.values():
+                if worker.task is None and not worker.draining:
+                    worker.draining = True
+                    try:
+                        worker.conn.send(None)
+                    except (OSError, BrokenPipeError):
+                        pass
+            if all(w.draining and w.task is None
+                   for w in self._workers.values()):
+                # Everyone acknowledged; give them a moment to exit.
+                for worker in list(self._workers.values()):
+                    worker.proc.join(timeout=max(
+                        0.0, deadline - time.monotonic()))
+                    if not worker.proc.is_alive():
+                        self._emit("svc.worker.exit",
+                                   worker=worker.worker_id)
+                    self._reap(worker)
+        self.stop()
+        return messages
+
+    def stop(self) -> None:
+        """Hard stop: terminate every remaining worker immediately."""
+        self._started = False
+        for worker in list(self._workers.values()):
+            self._reap(worker)

@@ -212,3 +212,87 @@ class TestMcCommand:
 
     def test_invalid_config_exits_two(self, capsys):
         assert main(["mc", "--cores", "9"]) == 2
+
+
+class TestServiceParser:
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9001", "--workers", "4",
+             "--db", "/tmp/x.db", "--drain-timeout", "5"])
+        assert args.port == 9001
+        assert args.workers == 4
+        assert args.db == "/tmp/x.db"
+        assert args.drain_timeout == 5.0
+        assert callable(args.fn)
+
+    def test_submit_shares_sweep_spec_arguments(self):
+        args = build_parser().parse_args(
+            ["submit", "Mp3d", "--mode", "figure4", "--threads", "4",
+             "--units", "1", "--priority", "3", "--wait",
+             "--url", "http://127.0.0.1:9999"])
+        assert args.workload == "Mp3d"
+        assert args.mode == "figure4"
+        assert args.priority == 3
+        assert args.wait
+        assert args.url == "http://127.0.0.1:9999"
+
+    def test_jobs_arguments(self):
+        args = build_parser().parse_args(
+            ["jobs", "j000001-aaaa", "--results"])
+        assert args.job_id == "j000001-aaaa"
+        assert args.results
+        listing = build_parser().parse_args(["jobs", "--state", "done"])
+        assert listing.job_id is None
+        assert listing.state == "done"
+
+    def test_cache_arguments(self):
+        args = build_parser().parse_args(
+            ["cache", "prune", "--max-entries", "100"])
+        assert args.action == "prune"
+        assert args.max_entries == 100
+
+
+class TestServiceCommands:
+    def test_submit_unknown_workload_exits_two(self, capsys):
+        assert main(["submit", "Nope", "--url",
+                     "http://127.0.0.1:1"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_exits_one(self, capsys):
+        assert main(["submit", "Mp3d", "--threads", "2", "--units", "1",
+                     "--url", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_jobs_unreachable_server_exits_one(self, capsys):
+        assert main(["jobs", "--url", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def _warm(self, cache_dir, sizes):
+        return main(["sweep", "Mp3d", "--mode", "sizes", "--sizes"]
+                    + [str(s) for s in sizes]
+                    + ["--threads", "2", "--units", "1",
+                       "--cache-dir", str(cache_dir)])
+
+    def test_stats(self, tmp_path, capsys):
+        assert self._warm(tmp_path, [64, 256]) == 0
+        capsys.readouterr()
+        assert main(["--json", "cache", "stats",
+                     "--cache-dir", str(tmp_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+
+    def test_prune_to_cap(self, tmp_path, capsys):
+        assert self._warm(tmp_path, [64, 256, 2048]) == 0
+        capsys.readouterr()
+        assert main(["--json", "cache", "prune", "--max-entries", "1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"root": str(tmp_path), "before": 3,
+                          "removed": 2, "entries": 1}
+
+    def test_prune_requires_cap(self, tmp_path, capsys):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-entries" in capsys.readouterr().err

@@ -225,3 +225,138 @@ class TestJsonRoundTrip:
         orig = sweep.results["a"].histograms
         assert back.results["a"].histograms == orig
         assert orig  # the run must actually have produced histograms
+
+
+class TestCacheEviction:
+    """The LRU size cap (``max_entries``) and ``prune``."""
+
+    def _fill(self, cache, n):
+        fp = workload_fingerprint(factory())
+        result = run_workload(small(), factory(), config_label="a")
+        keys = []
+        for i in range(n):
+            key = cache.key(small(), fp, seed=i, label="a")
+            cache.store(key, result)
+            keys.append(key)
+        return keys
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 5)
+        assert cache.entry_count() == 5
+        assert cache.evicted == 0
+        with pytest.raises(ValueError):
+            cache.prune()  # no cap configured, none given
+
+    def test_store_evicts_beyond_cap(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        keys = self._fill(cache, 6)
+        assert cache.entry_count() == 3
+        assert cache.evicted == 3
+        # The newest entries survive (mtime order).
+        assert all(cache.load(k) is not None for k in keys[-3:])
+
+    def test_lru_not_fifo_hits_refresh_recency(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._fill(cache, 4)
+        # Age the files explicitly (mtime resolution is too coarse to
+        # rely on insertion timing), oldest first.
+        now = time.time()
+        for i, key in enumerate(keys):
+            os.utime(cache._path(key), (now - 100 + i, now - 100 + i))
+        assert cache.load(keys[0]) is not None  # touch the oldest
+        assert cache.prune(max_entries=2) == 2
+        assert cache.load(keys[0]) is not None  # survived: recently used
+        assert cache.load(keys[3]) is not None
+        assert cache.load(keys[1]) is None
+        assert cache.load(keys[2]) is None
+
+    def test_prune_reports_and_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 5)
+        assert cache.prune(max_entries=2) == 3
+        assert cache.evicted == 3
+        assert cache.prune(max_entries=2) == 0  # already within cap
+        assert cache.entry_count() == 2
+        assert cache.size_bytes() > 0
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=-1)
+
+    def test_capped_cache_still_correct_in_sweeps(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1)
+        sweep = run_sweep(variants(), factory, cache=cache)
+        assert sweep == run_sweep(variants(), factory)
+        assert cache.entry_count() == 1  # evicted down to the cap
+
+
+class TestRetryAndTimeoutMeta:
+    """SweepResult meta surfaces per-variant retry and timeout counts."""
+
+    def _patch(self, monkeypatch, hook):
+        real = run_workload
+
+        def wrapper(cfg, workload, **kwargs):
+            hook(kwargs.get("config_label", ""))
+            return real(cfg, workload, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "run_workload", wrapper)
+
+    def test_clean_run_reports_zero_counts(self):
+        meta = run_sweep(variants(), factory, jobs=2).meta
+        assert meta["retries"] == 0
+        assert meta["timeouts"] == 0
+        for per in meta["variants"].values():
+            assert per["retries"] == 0
+            assert per["timeouts"] == 0
+
+    def test_crash_retry_is_counted(self, monkeypatch, tmp_path):
+        flag = tmp_path / "crashed-once"
+
+        def crash_first_time(label):
+            if label == "b" and not flag.exists():
+                flag.write_text("x")
+                os._exit(13)
+
+        self._patch(monkeypatch, crash_first_time)
+        meta = run_sweep(variants(), factory, jobs=2, retries=1).meta
+        assert meta["variants"]["b"]["retries"] == 1
+        assert meta["variants"]["a"]["retries"] == 0
+        assert meta["retries"] == 1
+        assert meta["timeouts"] == 0
+
+    def test_timeout_retry_recovers_when_enabled(self, monkeypatch,
+                                                 tmp_path):
+        flag = tmp_path / "slow-once"
+
+        def slow_first_time(label):
+            if label == "b" and not flag.exists():
+                flag.write_text("x")
+                time.sleep(30)
+
+        self._patch(monkeypatch, slow_first_time)
+        serial = run_sweep(variants(), factory)
+        sweep = run_sweep(variants(), factory, jobs=2, timeout=2.0,
+                          retries=1, retry_timeouts=True)
+        assert sweep == serial
+        per = sweep.meta["variants"]["b"]
+        assert per["timeouts"] == 1
+        assert per["retries"] == 1
+        assert sweep.meta["timeouts"] == 1
+
+    def test_timeout_not_retried_by_default(self, monkeypatch):
+        self._patch(monkeypatch,
+                    lambda label: time.sleep(30) if label == "b" else None)
+        with pytest.raises(SweepExecutionError) as info:
+            run_sweep(variants(), factory, jobs=2, timeout=1.0, retries=3)
+        assert "timed out" in info.value.failures["b"]
+        assert "1 attempt(s)" in info.value.failures["b"]
+
+    def test_timeout_retry_budget_exhausts(self, monkeypatch):
+        self._patch(monkeypatch,
+                    lambda label: time.sleep(30) if label == "b" else None)
+        with pytest.raises(SweepExecutionError) as info:
+            run_sweep(variants(), factory, jobs=2, timeout=1.0, retries=1,
+                      retry_timeouts=True)
+        assert "2 attempt(s)" in info.value.failures["b"]

@@ -1,0 +1,415 @@
+"""Tests for the sweep-service building blocks (no live fleet).
+
+Covers :mod:`repro.svc.spec` (submission contract),
+:mod:`repro.svc.scheduler` (queue + state machine),
+:mod:`repro.svc.repository` (SQLite persistence + dedupe + recovery),
+and the concurrent-access guarantees of
+:class:`repro.harness.parallel.ResultCache` that the service relies on.
+The live end-to-end paths (worker fleet, HTTP) are in
+``test_svc_service.py``.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.harness.parallel import ResultCache, workload_fingerprint
+from repro.harness.runner import run_workload
+from repro.harness.sweep import run_sweep
+from repro.svc.repository import RunRepository, result_digest
+from repro.svc.scheduler import JobQueue, StateError, check_transition
+from repro.svc.spec import CellTask, SpecError, SweepSpec
+
+
+def tiny_spec(**overrides):
+    """One-cell spec (Mp3d, BS_64) — the cheapest real submission."""
+    fields = dict(workload="Mp3d", mode="sizes", sizes=(64,),
+                  threads=2, units=1)
+    fields.update(overrides)
+    return SweepSpec(**fields)
+
+
+class TestSweepSpec:
+    def test_round_trip(self):
+        spec = tiny_spec(timeout=5.0, retries=2)
+        back = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec
+        assert back.cache_keys() == spec.cache_keys()
+
+    def test_defaults_match_cli_sweep(self):
+        spec = SweepSpec(workload="Mp3d")
+        assert spec.mode == "designs"
+        assert spec.baseline_label == "Perfect"
+        assert SweepSpec(workload="Mp3d",
+                         mode="figure4").baseline_label == "Lock"
+        assert SweepSpec(workload="Mp3d",
+                         mode="sizes").baseline_label is None
+
+    def test_figure4_grid(self):
+        labels = SweepSpec(workload="Mp3d", mode="figure4").labels()
+        assert labels == ["Lock", "Perfect", "BS_2Kb", "CBS_2Kb",
+                          "DBS_2Kb", "BS_64"]
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            SweepSpec(workload="NoSuchThing")
+        with pytest.raises(SpecError):
+            SweepSpec(workload="Mp3d", mode="nope")
+        with pytest.raises(SpecError):
+            SweepSpec(workload="Mp3d", threads=0)
+        with pytest.raises(SpecError):
+            SweepSpec(workload="Mp3d", mode="sizes", kind="perfect")
+        with pytest.raises(SpecError):
+            SweepSpec(workload="Mp3d", mode="sizes", sizes=())
+        with pytest.raises(SpecError):
+            SweepSpec(workload="Mp3d", retries=-1)
+        with pytest.raises(SpecError):
+            SweepSpec(workload="Mp3d", timeout=0.0)
+
+    def test_from_dict_rejects_junk(self):
+        with pytest.raises(SpecError):
+            SweepSpec.from_dict("not an object")
+        with pytest.raises(SpecError):
+            SweepSpec.from_dict({})
+        with pytest.raises(SpecError):
+            SweepSpec.from_dict({"workload": "Mp3d", "wat": 1})
+        with pytest.raises(SpecError):
+            SweepSpec.from_dict({"workload": "Mp3d", "threads": "lots"})
+
+    def test_cache_keys_match_cli_path(self):
+        """The service content-address IS the CLI cache's address."""
+        spec = tiny_spec()
+        cache = ResultCache("/nonexistent")
+        fingerprint = workload_fingerprint(spec.make_workload())
+        for label, cfg in spec.variants():
+            expected = cache.key(cfg, fingerprint, spec.seed, label,
+                                 spec.cycle_limit, verify=spec.verify)
+            assert spec.cache_keys()[label] == expected
+
+    def test_cell_task_runs_the_exact_cell(self):
+        spec = tiny_spec()
+        [(label, cfg)] = spec.variants()
+        task = CellTask(job_id="j1", label=label, spec=spec,
+                        cache_key=spec.cache_keys()[label])
+        direct = run_workload(cfg, spec.make_workload(), seed=spec.seed,
+                              config_label=label)
+        via_task = task.run()
+        assert result_digest(via_task.to_dict()) == \
+            result_digest(direct.to_dict())
+
+    def test_cell_task_unknown_label(self):
+        spec = tiny_spec()
+        with pytest.raises(SpecError):
+            CellTask(job_id="j1", label="nope", spec=spec,
+                     cache_key="x").run()
+
+
+class TestStateMachine:
+    def test_legal_paths(self):
+        check_transition("queued", "running")
+        check_transition("running", "done")
+        check_transition("running", "failed")
+        check_transition("running", "cancelled")
+        check_transition("queued", "cancelled")
+
+    def test_illegal_paths(self):
+        for old, new in [("done", "running"), ("queued", "done"),
+                         ("failed", "queued"), ("cancelled", "running")]:
+            with pytest.raises(StateError):
+                check_transition(old, new)
+        with pytest.raises(StateError):
+            check_transition("bogus", "done")
+        with pytest.raises(StateError):
+            check_transition("queued", "bogus")
+
+
+class TestJobQueue:
+    def test_fifo_within_priority(self):
+        q = JobQueue()
+        for jid in ("a", "b", "c"):
+            q.push(jid)
+        assert [q.pop(0), q.pop(0), q.pop(0)] == ["a", "b", "c"]
+
+    def test_priority_orders_first(self):
+        q = JobQueue()
+        q.push("low", priority=0)
+        q.push("high", priority=5)
+        q.push("mid", priority=3)
+        assert [q.pop(0), q.pop(0), q.pop(0)] == ["high", "mid", "low"]
+
+    def test_pop_timeout(self):
+        q = JobQueue()
+        t0 = time.monotonic()
+        assert q.pop(timeout=0.05) is None
+        assert time.monotonic() - t0 < 2.0
+
+    def test_remove_cancels_queued(self):
+        q = JobQueue()
+        q.push("a")
+        q.push("b")
+        assert q.remove("a") is True
+        assert q.remove("a") is False  # already removed
+        assert q.remove("ghost") is False
+        assert q.depth() == 1
+        assert q.pop(0) == "b"
+        assert q.pop(0) is None
+
+    def test_close_wakes_waiters(self):
+        q = JobQueue()
+        got = []
+        thread = threading.Thread(target=lambda: got.append(q.pop(5.0)))
+        thread.start()
+        q.close()
+        thread.join(timeout=5.0)
+        assert got == [None]
+        with pytest.raises(StateError):
+            q.push("late")
+
+    def test_restore(self):
+        q = JobQueue()
+        n = q.restore([{"id": "a", "priority": 0},
+                       {"id": "b", "priority": 9}])
+        assert n == 2
+        assert q.pop(0) == "b"
+
+
+class TestRunRepository:
+    def _result(self):
+        spec = tiny_spec()
+        [(label, cfg)] = spec.variants()
+        return run_workload(cfg, spec.make_workload(), seed=spec.seed,
+                            config_label=label)
+
+    def test_store_and_load_run(self, tmp_path):
+        repo = RunRepository(tmp_path / "svc.db")
+        result = self._result()
+        digest = repo.store_run("k1", result)
+        assert digest == result_digest(result.to_dict())
+        assert repo.run_digest("k1") == digest
+        loaded = repo.load_run("k1")
+        assert result_digest(loaded.to_dict()) == digest
+        assert repo.load_run("missing") is None
+        assert repo.run_count() == 1
+        assert repo.have_runs(["k1", "k2"]) == {"k1": True, "k2": False}
+
+    def test_first_write_wins(self, tmp_path):
+        repo = RunRepository(tmp_path / "svc.db")
+        result = self._result()
+        first = repo.store_run("k1", result)
+        repo.store_run("k1", result)
+        assert repo.run_count() == 1
+        assert repo.run_digest("k1") == first
+
+    def test_job_lifecycle(self, tmp_path):
+        repo = RunRepository(tmp_path / "svc.db")
+        spec = tiny_spec()
+        job = repo.create_job(spec, priority=2,
+                              cache_keys=spec.cache_keys())
+        assert job["state"] == "queued"
+        assert job["priority"] == 2
+        assert [c["state"] for c in job["cells"]] == ["pending"]
+        assert SweepSpec.from_dict(job["spec"]) == spec
+
+        repo.set_job_state(job["id"], "running")
+        label = job["cells"][0]["label"]
+        repo.update_cell(job["id"], label, state="done", source="executed",
+                         attempts=1, wall_time=0.5)
+        repo.set_job_state(job["id"], "done")
+        final = repo.get_job(job["id"])
+        assert final["state"] == "done"
+        assert final["started_at"] is not None
+        assert final["finished_at"] is not None
+        assert final["cell_counts"] == {"done": 1}
+        assert repo.get_job("ghost") is None
+
+    def test_list_jobs_includes_counts(self, tmp_path):
+        repo = RunRepository(tmp_path / "svc.db")
+        spec = tiny_spec()
+        a = repo.create_job(spec, cache_keys=spec.cache_keys())
+        b = repo.create_job(spec, cache_keys=spec.cache_keys())
+        assert a["id"] != b["id"]
+        listed = repo.list_jobs()
+        assert [j["id"] for j in listed] == [b["id"], a["id"]]  # newest first
+        assert all(j["cell_counts"] == {"pending": 1} for j in listed)
+        repo.set_job_state(a["id"], "running")
+        assert [j["id"] for j in repo.list_jobs(state="running")] \
+            == [a["id"]]
+
+    def test_results_for_job_and_dedupe(self, tmp_path):
+        """Two submissions of one spec share the same stored run."""
+        repo = RunRepository(tmp_path / "svc.db")
+        spec = tiny_spec()
+        keys = spec.cache_keys()
+        a = repo.create_job(spec, cache_keys=keys)
+        b = repo.create_job(spec, cache_keys=keys)
+        result = self._result()
+        label = next(iter(keys))
+        digest = repo.store_run(keys[label], result)
+        for jid, source in ((a["id"], "executed"), (b["id"], "repository")):
+            repo.update_cell(jid, label, state="done", source=source)
+        assert repo.run_count() == 1  # one execution serves both jobs
+        res_a = repo.results_for_job(a["id"])
+        res_b = repo.results_for_job(b["id"])
+        assert res_a[label]["digest"] == digest
+        assert res_b[label]["digest"] == digest
+        assert res_b[label]["result"] == res_a[label]["result"]
+        assert res_a[label]["source"] == "executed"
+        assert res_b[label]["source"] == "repository"
+
+    def test_results_label_filter(self, tmp_path):
+        repo = RunRepository(tmp_path / "svc.db")
+        spec = SweepSpec(workload="Mp3d", mode="figure4", threads=2,
+                         units=1)
+        job = repo.create_job(spec, cache_keys=spec.cache_keys())
+        filtered = repo.results_for_job(job["id"], labels=["Lock"])
+        assert list(filtered) == ["Lock"]
+        assert filtered["Lock"]["state"] == "pending"
+        assert filtered["Lock"]["digest"] is None
+
+    def test_recover_requeues_interrupted(self, tmp_path):
+        repo = RunRepository(tmp_path / "svc.db")
+        spec = tiny_spec()
+        job = repo.create_job(spec, cache_keys=spec.cache_keys())
+        label = job["cells"][0]["label"]
+        repo.set_job_state(job["id"], "running")
+        repo.update_cell(job["id"], label, state="running")
+        done_job = repo.create_job(spec, cache_keys=spec.cache_keys())
+        repo.set_job_state(done_job["id"], "running")
+        repo.set_job_state(done_job["id"], "done")
+
+        recovered = repo.recover()
+        assert [j["id"] for j in recovered] == [job["id"]]
+        after = repo.get_job(job["id"])
+        assert after["state"] == "queued"
+        assert after["cells"][0]["state"] == "pending"
+        assert repo.get_job(done_job["id"])["state"] == "done"
+
+    def test_recover_keeps_finished_cells(self, tmp_path):
+        repo = RunRepository(tmp_path / "svc.db")
+        spec = SweepSpec(workload="Mp3d", mode="figure4", threads=2,
+                         units=1)
+        job = repo.create_job(spec, cache_keys=spec.cache_keys())
+        repo.set_job_state(job["id"], "running")
+        repo.update_cell(job["id"], "Lock", state="done",
+                         source="executed")
+        repo.update_cell(job["id"], "Perfect", state="running")
+        repo.recover()
+        after = repo.get_job(job["id"])
+        states = {c["label"]: c["state"] for c in after["cells"]}
+        assert states["Lock"] == "done"       # finished work survives
+        assert states["Perfect"] == "pending"  # interrupted re-queued
+
+    def test_threaded_access(self, tmp_path):
+        """API threads + scheduler thread hit one SQLite file safely."""
+        repo = RunRepository(tmp_path / "svc.db")
+        spec = tiny_spec()
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(5):
+                    job = repo.create_job(spec,
+                                          cache_keys=spec.cache_keys())
+                    repo.set_job_state(job["id"], "running")
+                    repo.get_job(job["id"])
+                    repo.list_jobs()
+                    repo.set_job_state(job["id"], "done")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(repo.list_jobs(limit=100)) == 20
+
+
+def _store_same_key(root, key, barrier, payload_path):
+    """Child process: wait at the barrier, then store the shared key."""
+    import pickle
+    with open(payload_path, "rb") as fh:
+        result = pickle.load(fh)
+    cache = ResultCache(root)
+    barrier.wait(timeout=30)
+    for _ in range(5):
+        cache.store(key, result)
+
+
+class TestConcurrentResultCache:
+    def test_parallel_same_key_writers(self, tmp_path):
+        """N processes storing one key concurrently never corrupt it.
+
+        ``store`` writes to a pid-unique temp file and ``os.replace``s
+        it into place, so readers always see either the old or the new
+        complete entry — never a partial write.
+        """
+        spec = tiny_spec()
+        [(label, cfg)] = spec.variants()
+        result = run_workload(cfg, spec.make_workload(), seed=spec.seed,
+                              config_label=label)
+        payload_path = tmp_path / "payload.pkl"
+        import pickle
+        with open(payload_path, "wb") as fh:
+            pickle.dump(result, fh)
+        key = spec.cache_keys()[label]
+        root = tmp_path / "cache"
+
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(4)
+        procs = [ctx.Process(target=_store_same_key,
+                             args=(str(root), key, barrier,
+                                   str(payload_path)))
+                 for _ in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+
+        cache = ResultCache(root)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert result_digest(loaded.to_dict()) == \
+            result_digest(result.to_dict())
+        # Exactly one entry, and no temp droppings left behind.
+        assert cache.entry_count() == 1
+        leftovers = [p for p in root.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_reader_during_writes_sees_whole_entries(self, tmp_path):
+        spec = tiny_spec()
+        [(label, cfg)] = spec.variants()
+        result = run_workload(cfg, spec.make_workload(), seed=spec.seed,
+                              config_label=label)
+        root = tmp_path / "cache"
+        key = spec.cache_keys()[label]
+        writer = ResultCache(root)
+        reader = ResultCache(root)
+        digest = result_digest(result.to_dict())
+        for _ in range(10):
+            writer.store(key, result)
+            seen = reader.load(key)
+            assert seen is not None
+            assert result_digest(seen.to_dict()) == digest
+
+
+class TestRepositoryCacheInterop:
+    def test_sweep_cache_entry_satisfies_service_key(self, tmp_path):
+        """A direct ``repro sweep`` warms the cache the service reads."""
+        spec = tiny_spec()
+        cache = ResultCache(tmp_path / "cache")
+        sweep = run_sweep(spec.variants(), spec.workload_factory(),
+                          seed=spec.seed,
+                          baseline_label=spec.baseline_label, cache=cache)
+        assert cache.stats()["misses"] == 1
+        [(label, _cfg)] = spec.variants()
+        hit = cache.load(spec.cache_keys()[label])
+        assert hit is not None
+        assert result_digest(hit.to_dict()) == \
+            result_digest(sweep.results[label].to_dict())

@@ -1,0 +1,452 @@
+"""End-to-end tests for the live sweep service: fleet, HTTP, faults.
+
+These spin up real worker processes (and, for the API tests, a real
+HTTP server on a loopback ephemeral port). Everything stays tiny —
+Mp3d at 2 threads x 1 unit — except the one benchmark-parity test,
+which replays the committed ``BENCH_fig4_cell.json`` full-scale cell
+through the service and demands a byte-identical result digest.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.harness.parallel import ResultCache
+from repro.harness.sweep import run_sweep
+from repro.svc.api import serve
+from repro.svc.client import ClientError, ServiceClient
+from repro.svc.repository import result_digest
+from repro.svc.service import ServiceError, SweepService
+from repro.svc.spec import CellTask, SweepSpec
+from repro.svc.workers import WorkerFleet
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(
+    not HAVE_FORK, reason="fault injection needs fork-inherited patches")
+
+
+def tiny_spec(**overrides):
+    fields = dict(workload="Mp3d", mode="sizes", sizes=(64,),
+                  threads=2, units=1)
+    fields.update(overrides)
+    return SweepSpec(**fields)
+
+
+def fig4_spec(**overrides):
+    fields = dict(workload="Mp3d", mode="figure4", threads=2, units=1)
+    fields.update(overrides)
+    return SweepSpec(**fields)
+
+
+def wait_terminal(service, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = service.job(job_id)
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} not terminal after {timeout}s: "
+                         f"{service.job(job_id)}")
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SweepService(tmp_path / "svc.db", workers=2, drain_timeout=15.0)
+    svc.start()
+    try:
+        yield svc
+    finally:
+        svc.shutdown(drain=False)
+
+
+class TestServiceEndToEnd:
+    def test_submit_runs_and_matches_direct_run_sweep(self, service):
+        spec = fig4_spec()
+        job = service.submit(spec.to_dict())
+        assert job["state"] == "queued"
+        assert len(job["cells"]) == 6
+        final = wait_terminal(service, job["id"])
+        assert final["state"] == "done"
+        assert final["cell_counts"] == {"done": 6}
+
+        results = service.results(job["id"])
+        direct = run_sweep(spec.variants(), spec.workload_factory(),
+                           seed=spec.seed,
+                           baseline_label=spec.baseline_label)
+        for label, run in direct.results.items():
+            assert results[label]["digest"] == \
+                result_digest(run.to_dict()), label
+            assert results[label]["source"] == "executed"
+            assert results[label]["result"] == run.to_dict()
+
+        kinds = [e.kind for e in service.job_events(job["id"])]
+        assert kinds[0] == "svc.job.submitted"
+        assert kinds[-1] == "svc.job.done"
+        assert "svc.job.started" in kinds
+        assert kinds.count("svc.cell.done") == 6
+
+    def test_second_submission_dedupes_to_zero_executions(self, service):
+        spec = fig4_spec()
+        first = service.submit(spec.to_dict())
+        wait_terminal(service, first["id"])
+        executed_before = service.metrics_snapshot()["svc.cells.executed"]
+
+        second = service.submit(spec.to_dict())
+        final = wait_terminal(service, second["id"])
+        assert final["state"] == "done"
+        results = service.results(second["id"])
+        assert {entry["source"] for entry in results.values()} \
+            == {"repository"}
+        snapshot = service.metrics_snapshot()
+        assert snapshot["svc.cells.executed"] == executed_before
+        assert snapshot["svc.cells.repo_hits"] == 6
+        # Both jobs resolve to identical digests (same content address).
+        first_digests = {label: e["digest"] for label, e
+                         in service.results(first["id"]).items()}
+        second_digests = {label: e["digest"] for label, e
+                          in results.items()}
+        assert first_digests == second_digests
+
+    def test_prewarmed_cache_serves_cells(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        spec = tiny_spec()
+        run_sweep(spec.variants(), spec.workload_factory(), seed=spec.seed,
+                  baseline_label=spec.baseline_label,
+                  cache=ResultCache(cache_dir))
+        svc = SweepService(tmp_path / "svc.db", workers=1,
+                           cache=ResultCache(cache_dir))
+        svc.start()
+        try:
+            job = svc.submit(spec.to_dict())
+            final = wait_terminal(svc, job["id"])
+            assert final["state"] == "done"
+            results = svc.results(job["id"])
+            assert {e["source"] for e in results.values()} == {"cache"}
+            assert svc.metrics_snapshot().get("svc.cells.executed",
+                                              0) == 0
+        finally:
+            svc.shutdown(drain=False)
+
+    def test_bench_digest_parity(self, service):
+        """The committed BENCH_fig4_cell digest, reproduced via workers.
+
+        The benchmark record pins ``_digest(sweep.to_dict())`` for the
+        full-scale serial Mp3d figure4 sweep. Rebuilding that payload
+        from the service's stored per-cell records must give the same
+        bytes — the service changes *where* cells run, never what they
+        produce.
+        """
+        bench_path = os.path.join(os.path.dirname(__file__), os.pardir,
+                                  "BENCH_fig4_cell.json")
+        with open(bench_path) as fh:
+            bench = json.load(fh)
+        threads = bench["config"]["scales"]["full"]["threads"]
+        units = bench["config"]["scales"]["full"]["units"]
+        committed = bench["trajectory"][-1]["extra"]["result_digest"]
+
+        spec = fig4_spec(threads=threads, units=units,
+                         seed=bench["config"]["seed"])
+        job = service.submit(spec.to_dict())
+        final = wait_terminal(service, job["id"], timeout=300.0)
+        assert final["state"] == "done"
+        results = service.results(job["id"])
+        payload = {"baseline_label": spec.baseline_label,
+                   "results": {label: results[label]["result"]
+                               for label in spec.labels()}}
+        assert result_digest(payload) == committed
+
+    def test_priority_orders_queued_jobs(self, tmp_path):
+        # No scheduler: submissions stay queued, so ordering is exact.
+        svc = SweepService(tmp_path / "svc.db", workers=1)
+        low = svc.submit(tiny_spec().to_dict(), priority=0)
+        high = svc.submit(tiny_spec(units=2).to_dict(), priority=5)
+        assert svc.queue.pop(0) == high["id"]
+        assert svc.queue.pop(0) == low["id"]
+
+    def test_health_and_metrics_shape(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["workers_alive"] == 2
+        assert health["queue_depth"] == 0
+        snapshot = service.metrics_snapshot()
+        for key in ("svc.uptime_seconds", "svc.cells.per_second",
+                    "svc.cache.hit_rate", "svc.workers.alive",
+                    "svc.workers.restarts", "svc.queue.depth"):
+            assert key in snapshot, key
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, tmp_path):
+        svc = SweepService(tmp_path / "svc.db", workers=1)  # not started
+        job = svc.submit(tiny_spec().to_dict())
+        cancelled = svc.cancel(job["id"])
+        assert cancelled["state"] == "cancelled"
+        assert cancelled["cell_counts"] == {"cancelled": 1}
+        assert svc.queue.depth() == 0
+
+    def test_cancel_terminal_job_is_an_error(self, service):
+        job = service.submit(tiny_spec().to_dict())
+        wait_terminal(service, job["id"])
+        with pytest.raises(ServiceError):
+            service.cancel(job["id"])
+
+    def test_cancel_unknown_job(self, service):
+        with pytest.raises(ServiceError):
+            service.cancel("ghost")
+
+
+class TestShutdownAndRecovery:
+    def test_drain_then_restart_resumes(self, tmp_path):
+        first = SweepService(tmp_path / "svc.db", workers=2,
+                             drain_timeout=30.0)
+        first.start()
+        job = first.submit(fig4_spec().to_dict())
+        first.shutdown(drain=True)  # likely mid-job
+
+        after = first.repository.get_job(job["id"])
+        assert after["state"] in ("queued", "done")
+        for cell in after["cells"]:
+            assert cell["state"] in ("pending", "done")
+
+        second = SweepService(tmp_path / "svc.db", workers=2)
+        second.start()
+        try:
+            final = wait_terminal(second, job["id"])
+            assert final["state"] == "done"
+            assert final["cell_counts"] == {"done": 6}
+            assert second.repository.run_count() == 6
+        finally:
+            second.shutdown(drain=False)
+
+    def test_drain_event_emitted(self, tmp_path):
+        svc = SweepService(tmp_path / "svc.db", workers=1)
+        svc.start()
+        svc.shutdown(drain=True)
+        assert svc.log.events(kind="svc.drain")
+
+
+@needs_fork
+class TestWorkerFaults:
+    def _patch_crash(self, monkeypatch, crash_flag, label_to_kill,
+                     exit_code=17, once=True):
+        real = runner_mod.run_workload
+
+        def wrapper(cfg, workload, **kwargs):
+            if kwargs.get("config_label") == label_to_kill:
+                if not once or not os.path.exists(crash_flag):
+                    with open(crash_flag, "a") as fh:
+                        fh.write("x")
+                    os._exit(exit_code)
+            return real(cfg, workload, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_workload", wrapper)
+
+    def test_crash_mid_cell_requeued_and_job_completes(self, tmp_path,
+                                                       monkeypatch):
+        spec = tiny_spec()
+        [label] = spec.labels()
+        self._patch_crash(monkeypatch, str(tmp_path / "crashed"), label)
+        svc = SweepService(tmp_path / "svc.db", workers=1)
+        svc.start()  # after the patch: fork inherits it
+        try:
+            job = svc.submit(spec.to_dict())
+            final = wait_terminal(svc, job["id"])
+            assert final["state"] == "done"
+            [cell] = final["cells"]
+            assert cell["attempts"] == 2
+            assert cell["retries"] == 1
+            assert svc.fleet.restarts >= 1
+            kinds = [e.kind for e in svc.job_events(job["id"])]
+            assert "svc.cell.requeued" in kinds
+            assert svc.metrics_snapshot()["svc.cells.requeued"] == 1
+            # The eventual result is still the correct deterministic one.
+            direct = run_sweep(spec.variants(), spec.workload_factory(),
+                               seed=spec.seed)
+            assert svc.results(job["id"])[label]["digest"] == \
+                result_digest(direct.results[label].to_dict())
+        finally:
+            svc.shutdown(drain=False)
+
+    def test_persistent_crash_exhausts_retries(self, tmp_path,
+                                               monkeypatch):
+        spec = tiny_spec(retries=1)
+        [label] = spec.labels()
+        self._patch_crash(monkeypatch, str(tmp_path / "crashed"), label,
+                          once=False)
+        svc = SweepService(tmp_path / "svc.db", workers=1)
+        svc.start()
+        try:
+            job = svc.submit(spec.to_dict())
+            final = wait_terminal(svc, job["id"])
+            assert final["state"] == "failed"
+            [cell] = final["cells"]
+            assert cell["state"] == "failed"
+            assert "crashed" in cell["error"]
+            assert "exit code 17" in cell["error"]
+            kinds = [e.kind for e in svc.job_events(job["id"])]
+            assert kinds[-1] == "svc.job.failed"
+        finally:
+            svc.shutdown(drain=False)
+
+    def test_sibling_jobs_survive_a_crashing_one(self, tmp_path,
+                                                 monkeypatch):
+        bad = tiny_spec(retries=0)
+        good = tiny_spec(sizes=(256,))
+        [label] = bad.labels()
+        self._patch_crash(monkeypatch, str(tmp_path / "crashed"), label,
+                          once=False)
+        # Distinct labels (BS_64 vs BS_256): only the bad cell crashes.
+        assert good.labels() != bad.labels()
+        svc = SweepService(tmp_path / "svc.db", workers=1)
+        svc.start()
+        try:
+            bad_job = svc.submit(bad.to_dict())
+            good_job = svc.submit(good.to_dict())
+            assert wait_terminal(svc, bad_job["id"])["state"] == "failed"
+            assert wait_terminal(svc, good_job["id"])["state"] == "done"
+        finally:
+            svc.shutdown(drain=False)
+
+
+@needs_fork
+class TestWorkerFleet:
+    def test_dispatch_poll_done(self):
+        spec = tiny_spec()
+        [label] = spec.labels()
+        fleet = WorkerFleet(1)
+        fleet.start()
+        try:
+            task = CellTask(job_id="j1", label=label, spec=spec,
+                            cache_key=spec.cache_keys()[label])
+            assert fleet.dispatch(task) is not None
+            assert fleet.dispatch(task) is None  # saturated
+            deadline = time.monotonic() + 60
+            messages = []
+            while not messages and time.monotonic() < deadline:
+                messages = fleet.poll(wait=0.1)
+            [message] = messages
+            assert message.kind == "done"
+            assert message.task.label == label
+            assert message.result.cycles > 0
+            assert message.wall_time > 0
+        finally:
+            fleet.stop()
+
+    def test_drain_stops_idle_workers_cleanly(self):
+        fleet = WorkerFleet(2)
+        fleet.start()
+        assert fleet.alive_count() == 2
+        fleet.drain(timeout=10.0)
+        assert fleet.alive_count() == 0
+
+    def test_killed_worker_is_reported_and_replaced(self):
+        spec = tiny_spec(threads=8, units=50)  # long enough to catch
+        [label] = spec.labels()
+        fleet = WorkerFleet(1)
+        fleet.start()
+        try:
+            task = CellTask(job_id="j1", label=label, spec=spec,
+                            cache_key="k")
+            assert fleet.dispatch(task) is not None
+            victim = next(iter(fleet._workers.values()))
+            victim.proc.terminate()
+            deadline = time.monotonic() + 30
+            crashed = []
+            while not crashed and time.monotonic() < deadline:
+                crashed = [m for m in fleet.poll(wait=0.1)
+                           if m.kind == "crashed"]
+            [message] = crashed
+            assert message.task.label == label
+            assert fleet.restarts == 1
+            assert fleet.alive_count() == 1  # replacement spawned
+        finally:
+            fleet.stop()
+
+
+class TestHTTPApi:
+    @pytest.fixture
+    def endpoint(self, service):
+        server = serve(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield ServiceClient(f"http://{host}:{port}")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_full_submit_poll_fetch_cycle(self, endpoint):
+        assert endpoint.healthz()["status"] == "ok"
+        spec = fig4_spec()
+        job = endpoint.submit(spec.to_dict())
+        assert job["state"] == "queued"
+        final = endpoint.wait(job["id"], timeout=120)
+        assert final["state"] == "done"
+
+        results = endpoint.results(job["id"])
+        assert set(results) == set(spec.labels())
+        direct = run_sweep(spec.variants(), spec.workload_factory(),
+                           seed=spec.seed,
+                           baseline_label=spec.baseline_label)
+        for label, run in direct.results.items():
+            assert results[label]["digest"] == \
+                result_digest(run.to_dict())
+
+        # label filter + field projection + digests-only
+        lock_only = endpoint.results(job["id"], labels=["Lock"])
+        assert list(lock_only) == ["Lock"]
+        projected = endpoint.results(job["id"], labels=["Lock"],
+                                     fields="label,cycles")
+        assert set(projected["Lock"]["result"]) == {"label", "cycles"}
+        digests = endpoint.results(job["id"], digests_only=True)
+        assert all(e["result"] is None for e in digests.values())
+        assert all(e["digest"] for e in digests.values())
+
+        events = list(endpoint.events(job["id"]))
+        assert events[0]["kind"] == "svc.job.submitted"
+        assert events[-1]["kind"] == "svc.job.done"
+
+        listed = endpoint.jobs()
+        assert [j["id"] for j in listed] == [job["id"]]
+        assert endpoint.metrics()["svc.cells.executed"] == 6
+
+    def test_follow_streams_until_terminal(self, endpoint):
+        job = endpoint.submit(tiny_spec().to_dict())
+        kinds = [e["kind"] for e in endpoint.events(job["id"],
+                                                    follow=True)]
+        assert kinds[-1] in ("svc.job.done", "svc.job.failed")
+        assert endpoint.job(job["id"])["state"] == "done"
+
+    def test_error_statuses(self, endpoint):
+        with pytest.raises(ClientError) as info:
+            endpoint.job("ghost")
+        assert info.value.status == 404
+        with pytest.raises(ClientError) as info:
+            endpoint.submit({"workload": "NoSuchThing"})
+        assert info.value.status == 400
+        with pytest.raises(ClientError) as info:
+            endpoint.submit({})
+        assert info.value.status == 400
+        job = endpoint.submit(tiny_spec().to_dict())
+        endpoint.wait(job["id"], timeout=120)
+        with pytest.raises(ClientError) as info:
+            endpoint.cancel(job["id"])
+        assert info.value.status == 409
+        with pytest.raises(ClientError) as info:
+            endpoint.cancel("ghost")
+        assert info.value.status == 404
+
+    def test_unreachable_server(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=1.0)
+        with pytest.raises(ClientError) as info:
+            client.healthz()
+        assert info.value.status == 0
