@@ -1,0 +1,101 @@
+"""Committed findings baseline: CI gates on *new* findings only.
+
+A baseline file records the fingerprints of known, triaged findings
+(each carrying an inline justification comment at the source site).
+``repro analyze --baseline FILE`` marks matching findings as
+``baselined`` and exits nonzero only when an unbaselined finding
+appears; ``--update-baseline`` rewrites the file from the current run.
+
+Fingerprints come from :meth:`Finding.fingerprint` — rule + canonical
+path + enclosing symbol + message, deliberately line-number-free so
+unrelated edits above a finding do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding, canonical_path
+
+#: Default baseline filename, looked up in the working directory.
+DEFAULT_BASELINE = "ANALYSIS_BASELINE.json"
+
+_VERSION = 1
+
+
+class BaselineError(Exception):
+    """Unreadable or malformed baseline file."""
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, object]]:
+    """fingerprint -> recorded entry; raises :class:`BaselineError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path!r} is not JSON: {exc}")
+    if not isinstance(data, dict) or "findings" not in data:
+        raise BaselineError(
+            f"baseline {path!r}: expected an object with 'findings'")
+    out: Dict[str, Dict[str, object]] = {}
+    for entry in data["findings"]:
+        fingerprint = entry.get("fingerprint")
+        if isinstance(fingerprint, str):
+            out[fingerprint] = entry
+    return out
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Write the baseline for the given findings (sorted, stable)."""
+    entries = []
+    for finding in sorted(findings,
+                          key=lambda f: (canonical_path(f.path), f.rule,
+                                         f.context, f.line)):
+        entries.append({
+            "fingerprint": finding.fingerprint(),
+            "rule": finding.rule,
+            "path": canonical_path(finding.path),
+            "context": finding.context,
+            "line": finding.line,
+            "message": finding.message,
+        })
+    payload = {"version": _VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Dict[str, Dict[str, object]]
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split into (all findings with ``baselined`` set, new findings)."""
+    marked: List[Finding] = []
+    new: List[Finding] = []
+    for finding in findings:
+        if finding.fingerprint() in baseline:
+            marked.append(Finding(
+                path=finding.path, line=finding.line, rule=finding.rule,
+                message=finding.message, fixit=finding.fixit,
+                context=finding.context, baselined=True))
+        else:
+            marked.append(finding)
+            new.append(finding)
+    return marked, new
+
+
+def default_baseline_path(explicit: "str | None" = None) -> "str | None":
+    """The baseline to use: explicit flag, else ./ANALYSIS_BASELINE.json
+    when present, else None (no baseline)."""
+    if explicit:
+        return explicit
+    if os.path.exists(DEFAULT_BASELINE):
+        return DEFAULT_BASELINE
+    return None
+
+
+__all__ = ["BaselineError", "DEFAULT_BASELINE", "apply_baseline",
+           "default_baseline_path", "load_baseline", "save_baseline"]

@@ -1,0 +1,491 @@
+"""Control-flow graphs and dataflow over stdlib-``ast`` functions.
+
+The analyses in :mod:`repro.analysis` (lockset inference, section
+consistency, reaching definitions) all want the same substrate: a
+per-function control-flow graph whose nodes are small straight-line
+blocks of statements, plus a generic forward dataflow solver over it.
+This module provides exactly that — no third-party dependencies, no
+bytecode, just the AST.
+
+Granularity: a block holds a list of *elements*, each an ``ast`` node.
+Simple statements appear as themselves; compound statements contribute
+their *head* (the ``If``/``While`` test expression, the ``For`` node,
+the ``With`` node) to a block while their bodies flow through successor
+blocks — except ``With``, whose body is control-flow-linear and stays
+in line after the ``With`` head element. Analyses that need a compound
+node's head-only effects (e.g. the names a ``For`` target binds) use
+:func:`element_defs`, which never descends into bodies.
+
+The graph is deliberately conservative where Python is dynamic:
+``try`` bodies may jump to their handlers from the top or the bottom of
+the protected region, loop ``else`` clauses are merged into the exit
+path, and anything after a ``return``/``raise``/``break``/``continue``
+lands in an unreachable block that keeps the element-to-block map
+total.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+FunctionNode = ast.FunctionDef  # AsyncFunctionDef accepted at runtime too
+
+
+class Param:
+    """A function parameter definition (reaching-defs pseudo-element)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Param({self.name})"
+
+
+class Block:
+    """One straight-line run of elements."""
+
+    __slots__ = ("index", "elements", "succs", "preds")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.elements: List[ast.AST] = []
+        self.succs: List[int] = []
+        self.preds: List[int] = []
+
+    def __repr__(self) -> str:
+        return (f"Block({self.index}, n={len(self.elements)}, "
+                f"succs={self.succs})")
+
+
+class CFG:
+    """Control-flow graph of one function/generator body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.blocks: List[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self._elem_block: Dict[int, int] = {}
+        builder = _Builder(self)
+        builder.build(getattr(func, "body", []))
+
+    # -- construction helpers (used by _Builder) --------------------------
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _add_edge(self, src: Block, dst: Block) -> None:
+        if dst.index not in src.succs:
+            src.succs.append(dst.index)
+            dst.preds.append(src.index)
+
+    def _place(self, block: Block, node: ast.AST) -> None:
+        block.elements.append(node)
+        self._elem_block[id(node)] = block.index
+
+    # -- queries -----------------------------------------------------------
+
+    def block_of(self, node: ast.AST) -> Optional[int]:
+        """Index of the block holding ``node`` as an element, if any."""
+        return self._elem_block.get(id(node))
+
+    def elements(self) -> Iterable[ast.AST]:
+        for block in self.blocks:
+            for elem in block.elements:
+                yield elem
+
+    def reachable_from(self, start: int) -> Set[int]:
+        """Block indices reachable from ``start`` (excluding itself
+        unless it sits on a cycle)."""
+        seen: Set[int] = set()
+        frontier = list(self.blocks[start].succs)
+        while frontier:
+            index = frontier.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            frontier.extend(self.blocks[index].succs)
+        return seen
+
+    def element_reaches(self, src: ast.AST, dst: ast.AST) -> bool:
+        """Whether execution can flow from element ``src`` to ``dst``.
+
+        Same-block elements are ordered by position; across blocks the
+        block reachability relation (including loop back-edges) decides.
+        """
+        src_block = self.block_of(src)
+        dst_block = self.block_of(dst)
+        if src_block is None or dst_block is None:
+            return False
+        if src_block == dst_block:
+            elems = self.blocks[src_block].elements
+            positions = {id(e): i for i, e in enumerate(elems)}
+            if positions[id(src)] < positions[id(dst)]:
+                return True
+            return src_block in self.reachable_from(src_block)
+        return dst_block in self.reachable_from(src_block)
+
+
+class _LoopFrame:
+    __slots__ = ("head", "after")
+
+    def __init__(self, head: Block, after: Block) -> None:
+        self.head = head
+        self.after = after
+
+
+class _Builder:
+    """Fills a CFG from a statement list (recursive descent)."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.current = cfg.blocks[cfg.entry.index]
+        self.loops: List[_LoopFrame] = []
+
+    def build(self, body: List[ast.stmt]) -> None:
+        self._stmts(body)
+        self.cfg._add_edge(self.current, self.cfg.exit)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _start_block(self) -> Block:
+        block = self.cfg._new_block()
+        self.cfg._add_edge(self.current, block)
+        self.current = block
+        return block
+
+    def _fresh_unlinked(self) -> Block:
+        block = self.cfg._new_block()
+        self.current = block
+        return block
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _stmts(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._for(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt)
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            self.cfg._place(self.current, stmt)
+            self.cfg._add_edge(self.current, self.cfg.exit)
+            self._fresh_unlinked()
+        elif isinstance(stmt, ast.Break):
+            self.cfg._place(self.current, stmt)
+            if self.loops:
+                self.cfg._add_edge(self.current, self.loops[-1].after)
+            self._fresh_unlinked()
+        elif isinstance(stmt, ast.Continue):
+            self.cfg._place(self.current, stmt)
+            if self.loops:
+                self.cfg._add_edge(self.current, self.loops[-1].head)
+            self._fresh_unlinked()
+        else:
+            # Simple statements — including nested FunctionDef/ClassDef,
+            # whose bodies are separate scopes and not traversed here.
+            self.cfg._place(self.current, stmt)
+
+    def _if(self, stmt: ast.If) -> None:
+        self.cfg._place(self.current, stmt.test)
+        head = self.current
+        after = self.cfg._new_block()
+
+        then = self.cfg._new_block()
+        self.cfg._add_edge(head, then)
+        self.current = then
+        self._stmts(stmt.body)
+        self.cfg._add_edge(self.current, after)
+
+        if stmt.orelse:
+            orelse = self.cfg._new_block()
+            self.cfg._add_edge(head, orelse)
+            self.current = orelse
+            self._stmts(stmt.orelse)
+            self.cfg._add_edge(self.current, after)
+        else:
+            self.cfg._add_edge(head, after)
+        self.current = after
+
+    def _while(self, stmt: ast.While) -> None:
+        head = self._start_block()
+        self.cfg._place(head, stmt.test)
+        after = self.cfg._new_block()
+        infinite = isinstance(stmt.test, ast.Constant) and bool(
+            stmt.test.value)
+        if not infinite:
+            self.cfg._add_edge(head, after)
+
+        body = self.cfg._new_block()
+        self.cfg._add_edge(head, body)
+        self.current = body
+        self.loops.append(_LoopFrame(head, after))
+        self._stmts(stmt.body)
+        self.loops.pop()
+        self.cfg._add_edge(self.current, head)
+        # ``orelse`` runs on normal exit; merge it into the exit path.
+        if stmt.orelse:
+            self.current = after
+            self._stmts(stmt.orelse)
+        else:
+            self.current = after
+
+    def _for(self, stmt: ast.stmt) -> None:
+        head = self._start_block()
+        self.cfg._place(head, stmt)  # head element: target+iter effects
+        after = self.cfg._new_block()
+        self.cfg._add_edge(head, after)
+
+        body = self.cfg._new_block()
+        self.cfg._add_edge(head, body)
+        self.current = body
+        self.loops.append(_LoopFrame(head, after))
+        self._stmts(stmt.body)
+        self.loops.pop()
+        self.cfg._add_edge(self.current, head)
+        if stmt.orelse:
+            self.current = after
+            self._stmts(stmt.orelse)
+        else:
+            self.current = after
+
+    def _with(self, stmt: ast.stmt) -> None:
+        # The With head evaluates the context managers and binds any
+        # ``as`` names; the body is control-flow-linear after it.
+        self.cfg._place(self.current, stmt)
+        self._stmts(stmt.body)
+
+    def _try(self, stmt: ast.Try) -> None:
+        # Conservative: handlers are reachable from the top of the
+        # protected region and from its end; finally joins every path.
+        pre = self.current
+        body = self.cfg._new_block()
+        self.cfg._add_edge(pre, body)
+        self.current = body
+        self._stmts(stmt.body)
+        body_end = self.current
+
+        after = self.cfg._new_block()
+        if stmt.orelse:
+            orelse = self.cfg._new_block()
+            self.cfg._add_edge(body_end, orelse)
+            self.current = orelse
+            self._stmts(stmt.orelse)
+            self.cfg._add_edge(self.current, after)
+        else:
+            self.cfg._add_edge(body_end, after)
+
+        for handler in stmt.handlers:
+            hblock = self.cfg._new_block()
+            self.cfg._add_edge(body, hblock)
+            self.cfg._add_edge(body_end, hblock)
+            self.current = hblock
+            if handler.name:
+                # Bind the exception name as a definition element.
+                self.cfg._place(hblock, handler)
+            self._stmts(handler.body)
+            self.cfg._add_edge(self.current, after)
+
+        self.current = after
+        if stmt.finalbody:
+            self._stmts(stmt.finalbody)
+
+
+# ---------------------------------------------------------------------------
+# Element-level def/use extraction (head-only, never descends into bodies)
+# ---------------------------------------------------------------------------
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def element_defs(elem: ast.AST) -> Set[str]:
+    """Local names an element (re)binds — head effects only."""
+    if isinstance(elem, ast.Assign):
+        out: Set[str] = set()
+        for target in elem.targets:
+            if isinstance(target, (ast.Name, ast.Tuple, ast.List)):
+                out |= _target_names(target)
+        return out
+    if isinstance(elem, ast.AnnAssign) and isinstance(elem.target, ast.Name):
+        return {elem.target.id} if elem.value is not None else set()
+    if isinstance(elem, ast.AugAssign) and isinstance(elem.target, ast.Name):
+        return {elem.target.id}
+    if isinstance(elem, (ast.For, ast.AsyncFor)):
+        return _target_names(elem.target)
+    if isinstance(elem, (ast.With, ast.AsyncWith)):
+        out = set()
+        for item in elem.items:
+            if item.optional_vars is not None:
+                out |= _target_names(item.optional_vars)
+        return out
+    if isinstance(elem, ast.ExceptHandler) and elem.name:
+        return {elem.name}
+    if isinstance(elem, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return {elem.name}
+    if isinstance(elem, ast.Import):
+        return {(a.asname or a.name.split(".")[0]) for a in elem.names}
+    if isinstance(elem, ast.ImportFrom):
+        return {(a.asname or a.name) for a in elem.names}
+    return set()
+
+
+def element_value(elem: ast.AST, name: str) -> Optional[ast.AST]:
+    """The expression assigned to ``name`` by ``elem``, when that is a
+    plain (non-destructuring) assignment; None for opaque bindings."""
+    if isinstance(elem, ast.Assign):
+        for target in elem.targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return elem.value
+    if isinstance(elem, ast.AnnAssign) and \
+            isinstance(elem.target, ast.Name) and \
+            elem.target.id == name:
+        return elem.value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Generic forward dataflow
+# ---------------------------------------------------------------------------
+
+def dataflow_forward(cfg: CFG, init, entry_state,
+                     transfer: Callable[[object, ast.AST], object],
+                     meet: Callable[[object, object], object],
+                     equals: Callable[[object, object], bool]
+                     ) -> Dict[int, object]:
+    """Worklist forward dataflow; returns block-index -> entry state.
+
+    ``init`` seeds non-entry blocks (top); ``entry_state`` seeds the
+    entry block. ``transfer`` maps (state, element) -> state; ``meet``
+    joins predecessor exit states.
+    """
+    states: Dict[int, object] = {b.index: init for b in cfg.blocks}
+    states[cfg.entry.index] = entry_state
+
+    def block_exit(index: int) -> object:
+        state = states[index]
+        for elem in cfg.blocks[index].elements:
+            state = transfer(state, elem)
+        return state
+
+    work = [b.index for b in cfg.blocks]
+    iterations = 0
+    limit = max(64, len(cfg.blocks) * len(cfg.blocks) * 4)
+    while work and iterations < limit:
+        iterations += 1
+        index = work.pop(0)
+        block = cfg.blocks[index]
+        if block.preds:
+            incoming = None
+            for pred in block.preds:
+                ex = block_exit(pred)
+                incoming = ex if incoming is None else meet(incoming, ex)
+            if index == cfg.entry.index:
+                incoming = meet(incoming, entry_state)
+        else:
+            incoming = states[index]
+        if incoming is not None and not equals(incoming, states[index]):
+            states[index] = incoming
+            for succ in block.succs:
+                if succ not in work:
+                    work.append(succ)
+    return states
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+#: A reaching-defs environment: name -> set of defining elements
+#: (``ast`` nodes or :class:`Param` markers), keyed by identity.
+Env = Dict[str, Tuple[object, ...]]
+
+
+class ReachingDefs:
+    """Intraprocedural reaching definitions for one function's CFG.
+
+    ``resolve(name, at)`` returns the set of assignment *value
+    expressions* that may flow into ``name`` at element ``at``; opaque
+    bindings (loop targets, ``with ... as``, parameters, destructuring)
+    resolve to the binding element itself so callers can classify them.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        entry: Env = {}
+        args = getattr(cfg.func, "args", None)
+        if args is not None:
+            names = [a.arg for a in
+                     list(getattr(args, "posonlyargs", []) or [])
+                     + list(args.args)
+                     + list(args.kwonlyargs)]
+            if args.vararg:
+                names.append(args.vararg.arg)
+            if args.kwarg:
+                names.append(args.kwarg.arg)
+            for name in names:
+                entry[name] = (Param(name),)
+
+        def transfer(state: Env, elem: ast.AST) -> Env:
+            defs = element_defs(elem)
+            if not defs:
+                return state
+            new = dict(state)
+            for name in defs:
+                new[name] = (elem,)
+            return new
+
+        def meet(a: Env, b: Env) -> Env:
+            out = dict(a)
+            for name, defs in b.items():
+                if name in out:
+                    merged = tuple(dict.fromkeys(out[name] + defs))
+                    out[name] = merged
+                else:
+                    out[name] = defs
+            return out
+
+        self._block_entry = dataflow_forward(
+            cfg, init={}, entry_state=entry, transfer=transfer,
+            meet=meet, equals=lambda a, b: a == b)
+
+    def env_at(self, elem: ast.AST) -> Env:
+        """The environment in force just before ``elem`` executes."""
+        index = self.cfg.block_of(elem)
+        if index is None:
+            return {}
+        state = dict(self._block_entry.get(index, {}))
+        for candidate in self.cfg.blocks[index].elements:
+            if candidate is elem:
+                break
+            defs = element_defs(candidate)
+            for name in defs:
+                state[name] = (candidate,)
+        return state
+
+    def resolve(self, name: str, at: ast.AST) -> List[object]:
+        """Defining elements for ``name`` at ``at`` (possibly empty)."""
+        return list(self.env_at(at).get(name, ()))
+
+
+__all__ = ["CFG", "Block", "Param", "ReachingDefs", "dataflow_forward",
+           "element_defs", "element_value"]

@@ -1,0 +1,188 @@
+"""The ``repro analyze`` engine: classify files, run every pass.
+
+For each ``.py`` file under the given paths:
+
+* unparsable -> a parse-error finding (``VR000``);
+* contains ``Section(...)`` calls -> *workload* module: VR module
+  rules + membership in the RC001/RC002 workload project;
+* inside the installed ``repro`` package -> *simulator* module: SR
+  module rules;
+* every parsed module joins one :class:`Project` over which the
+  project rules (RC003/RC004 thread pass, RC001/RC002 workload pass)
+  run once.
+
+Module-rule findings inherit the lint suppression-comment semantics
+(they *are* the lint, re-homed); project-rule findings are governed by
+the committed baseline instead (:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.callgraph import ModuleInfo, Project, parse_module
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (all_rules, project_rules,
+                                     run_module_scope)
+
+
+def _collect_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            files.append(path)
+    return files
+
+
+def _repro_package_dir() -> str:
+    import repro
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _module_name(path: str, package_dir: str) -> str:
+    absolute = os.path.abspath(path)
+    if absolute.startswith(package_dir + os.sep):
+        relative = absolute[len(package_dir) + 1:]
+        dotted = relative[:-3].replace(os.sep, ".")
+        return f"repro.{dotted}"
+    base = os.path.basename(path)
+    return base[:-3] if base.endswith(".py") else base
+
+
+def _symbol_index(tree: ast.Module) -> List[Tuple[int, int, str]]:
+    """(start line, end line, qualname) spans for enclosing symbols."""
+    spans: List[Tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                qualname = (f"{prefix}.{child.name}" if prefix
+                            else child.name)
+                end = getattr(child, "end_lineno", child.lineno)
+                spans.append((child.lineno, end or child.lineno,
+                              qualname))
+                visit(child, qualname)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return spans
+
+
+def _context_for(spans: List[Tuple[int, int, str]], line: int) -> str:
+    best = ""
+    best_size = None
+    for start, end, qualname in spans:
+        if start <= line <= end:
+            size = end - start
+            if best_size is None or size < best_size:
+                best, best_size = qualname, size
+    return best
+
+
+def analyze_paths(paths: Optional[Sequence[str]] = None
+                  ) -> List[Finding]:
+    """Run every registered pass over ``paths``; sorted findings.
+
+    Default target is the installed ``repro`` package.
+    """
+    package_dir = _repro_package_dir()
+    if not paths:
+        paths = [package_dir]
+    files = _collect_files(paths)
+
+    findings: List[Finding] = []
+    modules: List[ModuleInfo] = []
+    span_index: Dict[str, List[Tuple[int, int, str]]] = {}
+
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            continue
+        name = _module_name(path, package_dir)
+        try:
+            module = parse_module(path, source, name=name)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=path, line=exc.lineno or 1, rule="VR000",
+                message=f"syntax error: {exc.msg}",
+                fixit="fix the syntax error"))
+            continue
+        modules.append(module)
+        span_index[path] = _symbol_index(module.tree)
+
+        in_package = os.path.abspath(path).startswith(
+            package_dir + os.sep)
+        scopes: List[str] = []
+        if _is_workload_module(module):
+            scopes.append("workload")
+        if in_package:
+            scopes.append("self")
+        for scope in scopes:
+            for lint_finding in run_module_scope(scope, source, path):
+                if lint_finding.rule in ("VR000", "SR000"):
+                    continue  # already parsed above
+                findings.append(Finding(
+                    path=lint_finding.path, line=lint_finding.line,
+                    rule=lint_finding.rule,
+                    message=lint_finding.message,
+                    fixit=lint_finding.fixit,
+                    context=_context_for(span_index[path],
+                                         lint_finding.line)))
+
+    project = Project(modules)
+    for rule in project_rules():
+        for finding in rule.check(project):
+            context = finding.context
+            if not context and finding.path in span_index:
+                context = _context_for(span_index[finding.path],
+                                       finding.line)
+            findings.append(Finding(
+                path=finding.path, line=finding.line, rule=finding.rule,
+                message=finding.message, fixit=finding.fixit,
+                context=context))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _is_workload_module(module: ModuleInfo) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id == "Section":
+            return True
+    return False
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report with the baselined/new split."""
+    lines: List[str] = []
+    for finding in findings:
+        suffix = "  (baselined)" if finding.baselined else ""
+        lines.append(f"{finding}{suffix}")
+    baselined = sum(1 for f in findings if f.baselined)
+    new = len(findings) - baselined
+    if not findings:
+        lines.append("analyze: no findings")
+    else:
+        lines.append(f"analyze: {len(findings)} finding(s), "
+                     f"{baselined} baselined, {new} new")
+    return "\n".join(lines)
+
+
+def rules_catalog() -> Dict[str, str]:
+    return all_rules()
+
+
+__all__ = ["analyze_paths", "render_text", "rules_catalog"]

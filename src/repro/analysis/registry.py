@@ -1,0 +1,178 @@
+"""Plugin rule registry: one framework behind lint *and* analyze.
+
+Every rule — the workload lint's VR000–VR005, the determinism
+self-lint's SR000–SR003, and the concurrency passes' RC001–RC004 —
+registers here as a plugin. Two plugin kinds exist:
+
+* :class:`ModuleRule` — runs per module on a parsed AST (all VR/SR
+  rules). The check functions are the *same objects* the pre-plugin
+  linter used (``repro.verify.lint._check_vr001`` etc.), so
+  ``repro lint`` output is byte-compatible by construction: the
+  registry replays the original composition (parse -> checks in
+  registration order -> suppression comments -> sort).
+* :class:`ProjectRule` — runs once over a whole :class:`Project`
+  (the RC concurrency passes, which need cross-module call graphs).
+
+Scopes pick which module rules apply where: ``workload`` modules get
+VR rules, simulator (``self``) modules get SR rules. ``repro lint``
+runs exactly one scope; ``repro analyze`` classifies each file and
+runs the matching scope plus the project rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.callgraph import Project
+from repro.analysis.findings import ANALYSIS_RULES, Finding
+from repro.verify.lint import (LintFinding, RULES, _check_vr001,
+                               _check_vr002, _check_vr003, _check_vr004,
+                               _check_vr005, _is_suppressed,
+                               _suppressions)
+
+#: scope -> rule id used for unparsable files.
+PARSE_ERROR_RULES = {"workload": "VR000", "self": "SR000"}
+
+
+@dataclass(frozen=True)
+class ModuleRule:
+    """A per-module AST rule."""
+
+    rule_id: str
+    description: str
+    scope: str  # "workload" | "self"
+    check: Callable[[ast.Module, str], List[LintFinding]]
+
+
+@dataclass(frozen=True)
+class ProjectRule:
+    """A whole-project rule (cross-module dataflow)."""
+
+    rule_id: str
+    description: str
+    check: Callable[[Project], List[Finding]]
+
+
+_MODULE_RULES: List[ModuleRule] = []
+_PROJECT_RULES: List[ProjectRule] = []
+
+
+def register_module_rule(rule: ModuleRule) -> ModuleRule:
+    _MODULE_RULES.append(rule)
+    return rule
+
+
+def register_project_rule(rule: ProjectRule) -> ProjectRule:
+    _PROJECT_RULES.append(rule)
+    return rule
+
+
+def module_rules(scope: str) -> List[ModuleRule]:
+    return [r for r in _MODULE_RULES if r.scope == scope]
+
+
+def project_rules() -> List[ProjectRule]:
+    return list(_PROJECT_RULES)
+
+
+def all_rules() -> Dict[str, str]:
+    """Complete id -> description catalog across every plugin."""
+    out: Dict[str, str] = dict(PARSE_ERROR_RULES_CATALOG)
+    for rule in _MODULE_RULES:
+        out[rule.rule_id] = rule.description
+    out.update(ANALYSIS_RULES)  # each RC pass reports several rule ids
+    for rule in _PROJECT_RULES:
+        out[rule.rule_id] = rule.description
+    return out
+
+
+def run_module_scope(scope: str, source: str,
+                     path: str = "<string>") -> List[LintFinding]:
+    """Parse + run one scope's module rules + suppressions + sort.
+
+    This is the exact composition ``lint_source``/``selflint_source``
+    used before the registry existed; both now delegate here.
+    """
+    error_rule = PARSE_ERROR_RULES[scope]
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintFinding(path=path, line=exc.lineno or 1,
+                            rule=error_rule,
+                            message=f"syntax error: {exc.msg}",
+                            fixit="fix the syntax error")]
+    findings: List[LintFinding] = []
+    for rule in module_rules(scope):
+        findings.extend(rule.check(tree, path))
+    supp = _suppressions(source)
+    kept = [f for f in findings if not _is_suppressed(f, supp)]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations
+# ---------------------------------------------------------------------------
+
+PARSE_ERROR_RULES_CATALOG = {
+    "VR000": RULES["VR000"],
+    "SR000": "file does not parse",
+}
+
+
+def _register_builtin() -> None:
+    from repro.verify.selflint import (SELF_RULES, _check_sr001,
+                                       _check_sr002, _check_sr003)
+
+    for rule_id, check in (("VR001", _check_vr001),
+                           ("VR002", _check_vr002),
+                           ("VR003", _check_vr003),
+                           ("VR004", _check_vr004),
+                           ("VR005", _check_vr005)):
+        register_module_rule(ModuleRule(
+            rule_id=rule_id, description=RULES[rule_id],
+            scope="workload", check=check))
+    for rule_id, check in (("SR001", _check_sr001),
+                           ("SR002", _check_sr002),
+                           ("SR003", _check_sr003)):
+        register_module_rule(ModuleRule(
+            rule_id=rule_id, description=SELF_RULES[rule_id],
+            scope="self", check=check))
+
+    from repro.analysis.locksets import analyze_workload_module
+    from repro.analysis.threads import analyze_threads
+
+    def _workload_pass(project: Project) -> List[Finding]:
+        out: List[Finding] = []
+        for module in project.modules:
+            if _looks_like_workload(module.tree):
+                out.extend(analyze_workload_module(module.tree,
+                                                   module.path))
+        return out
+
+    register_project_rule(ProjectRule(
+        rule_id="RC001", description=ANALYSIS_RULES["RC001"],
+        check=_workload_pass))
+    # RC002 rides on the RC001 pass and RC004 on the RC003 pass; the
+    # catalog lists all four individually via ANALYSIS_RULES.
+    register_project_rule(ProjectRule(
+        rule_id="RC003", description=ANALYSIS_RULES["RC003"],
+        check=analyze_threads))
+
+
+def _looks_like_workload(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id == "Section":
+            return True
+    return False
+
+
+_register_builtin()
+
+__all__ = ["ModuleRule", "PARSE_ERROR_RULES", "ProjectRule", "all_rules",
+           "module_rules", "project_rules", "register_module_rule",
+           "register_project_rule", "run_module_scope"]

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 serialization for analyzer findings.
+
+Emits the minimal conforming subset CI viewers consume: one run, a
+tool driver with the full rule catalog, and one result per finding
+with a physical location and a stable ``partialFingerprints`` entry
+(the same fingerprint the baseline uses, so a SARIF diff and a
+baseline diff agree). :func:`findings_from_sarif` inverts it for the
+round-trip tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.analysis.findings import Finding, canonical_path
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-analyze"
+
+
+def to_sarif(findings: Iterable[Finding],
+             rules: Dict[str, str]) -> Dict[str, Any]:
+    """A SARIF 2.1.0 log object for ``findings``."""
+    findings = list(findings)
+    used = sorted({f.rule for f in findings} | set(rules))
+    rule_objects = [
+        {"id": rule_id,
+         "shortDescription": {"text": rules.get(rule_id, rule_id)}}
+        for rule_id in used]
+    index = {rule_id: i for i, rule_id in enumerate(used)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": canonical_path(finding.path)},
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+                "logicalLocations": [{
+                    "fullyQualifiedName": finding.context}],
+            }],
+            "partialFingerprints": {
+                "reproAnalyze/v1": finding.fingerprint()},
+            "properties": {"fixit": finding.fixit,
+                           "baselined": finding.baselined},
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "informationUri": "https://example.invalid/repro",
+                "rules": rule_objects,
+            }},
+            "results": results,
+        }],
+    }
+
+
+def findings_from_sarif(log: Dict[str, Any]) -> List[Finding]:
+    """Reconstruct findings from a SARIF log (round-trip inverse)."""
+    out: List[Finding] = []
+    for run in log.get("runs", []):
+        for result in run.get("results", []):
+            location = (result.get("locations") or [{}])[0]
+            physical = location.get("physicalLocation", {})
+            logical = (location.get("logicalLocations") or [{}])[0]
+            properties = result.get("properties", {})
+            out.append(Finding(
+                path=physical.get("artifactLocation", {}).get("uri", ""),
+                line=physical.get("region", {}).get("startLine", 1),
+                rule=result.get("ruleId", ""),
+                message=result.get("message", {}).get("text", ""),
+                fixit=properties.get("fixit", ""),
+                context=logical.get("fullyQualifiedName", ""),
+                baselined=bool(properties.get("baselined", False))))
+    return out
+
+
+def render_sarif(findings: Iterable[Finding],
+                 rules: Dict[str, str]) -> str:
+    return json.dumps(to_sarif(findings, rules), indent=2,
+                      sort_keys=True)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "TOOL_NAME",
+           "findings_from_sarif", "render_sarif", "to_sarif"]

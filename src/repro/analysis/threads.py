@@ -1,0 +1,607 @@
+"""Thread-safety lockset inference for threaded Python classes.
+
+This pass looks at real ``threading`` code — the service layer in
+:mod:`repro.svc` — rather than workload DSL programs. It follows the
+Eraser discipline: for every shared attribute, the *candidate lockset*
+is the intersection of the locks held across all of its accesses; an
+attribute written outside ``__init__``, reachable from two different
+thread roots, whose candidate lockset is empty, is convicted (RC004).
+Nested lock acquisitions additionally feed a global lock-order graph
+whose cycles are reported as potential deadlocks (RC003).
+
+**Seeding and roots.** Classes defined in modules that import
+``threading`` are *seed* classes; classes they construct into
+attributes (``self.fleet = WorkerFleet(...)``) are pulled in
+transitively. Thread roots are (a) every ``threading.Thread(target=
+self._m)`` target, and (b) the ``api`` pseudo-root covering the public
+methods of seed classes (any caller thread — HTTP handler threads in
+this repo). Accesses reachable *only* through ``__init__`` chains are
+exempt: construction happens-before sharing.
+
+**Guard tracking.** Locks are attributes initialized from
+``threading.Lock``/``RLock``/``Condition``/``Semaphore`` (or unknown
+constructor-injected values used as context managers). A lock is held
+lexically inside ``with self.lock:`` and, flow-sensitively, between
+``.acquire()`` and ``.release()`` along all CFG paths (must-analysis,
+meet = intersection). Private-method entry locksets are inferred
+interprocedurally as the intersection of held-sets at in-project call
+sites, iterated to a fixpoint.
+
+**Exemptions** (documented in ``docs/analysis.md``): synchronization
+primitives themselves; ``queue.Queue`` family; the GIL-atomic
+single-element ``deque`` operations; attribute accesses on local
+variables (only ``self.<attr>`` chains are tracked); and per-instance
+sub-object internals reached through untracked containers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (ATOMIC_CONTAINER_CONSTRUCTORS,
+                                      SYNC_CONSTRUCTORS, ClassInfo,
+                                      FunctionInfo, Project)
+from repro.analysis.cfg import CFG, dataflow_forward
+from repro.analysis.findings import Finding
+
+#: Method names that mutate their receiver (containers).
+_MUTATING_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert", "pop",
+    "popleft", "popitem", "remove", "discard", "add", "clear", "update",
+    "setdefault", "sort", "reverse", "rotate", "put", "put_nowait",
+})
+
+#: ``deque`` methods that are atomic under the GIL.
+_DEQUE_ATOMIC = frozenset({
+    "append", "appendleft", "pop", "popleft", "extend", "extendleft",
+    "rotate", "clear",
+})
+
+_API_ROOT = "api"
+_INIT_ROOT = "<init>"
+
+
+def _self_attr(expr: ast.AST) -> Optional[str]:
+    if isinstance(expr, ast.Attribute) and \
+            isinstance(expr.value, ast.Name) and expr.value.id == "self":
+        return expr.attr
+    return None
+
+
+def _ctor_name(value: Optional[ast.AST]) -> Optional[str]:
+    """Constructor name of ``self.x = Name(...)`` / ``mod.Name(...)``."""
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+    return None
+
+
+class _Access:
+    __slots__ = ("kind", "line", "held", "method", "exempt")
+
+    def __init__(self, kind: str, line: int, held: FrozenSet[str],
+                 method: FunctionInfo, exempt: bool) -> None:
+        self.kind = kind  # "read" | "write"
+        self.line = line
+        self.held = held
+        self.method = method
+        self.exempt = exempt
+
+
+class ThreadAnalyzer:
+    """RC003/RC004 over one :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.seed_classes: List[ClassInfo] = []
+        self.analyzed: List[ClassInfo] = []
+        self.findings: List[Finding] = []
+        #: method qualname -> root labels reaching it (init excluded)
+        self._roots: Dict[str, Set[str]] = {}
+        self._init_only: Set[str] = set()
+        #: method qualname -> inferred entry lockset
+        self._entry: Dict[str, FrozenSet[str]] = {}
+        #: lock-order edges: (held, acquired) -> (path, line)
+        self._order_edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    # -- top level ---------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        self._select_classes()
+        if not self.analyzed:
+            return []
+        self._compute_roots()
+        self._infer_entry_locksets()
+        self._collect_and_convict()
+        self._check_lock_order()
+        self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return self.findings
+
+    def _select_classes(self) -> None:
+        for module in self.project.modules:
+            if not module.imports_threading:
+                continue
+            self.seed_classes.extend(module.classes.values())
+        pulled: Dict[str, ClassInfo] = {
+            cls.qualname: cls for cls in self.seed_classes}
+        frontier = list(self.seed_classes)
+        while frontier:
+            cls = frontier.pop()
+            for type_name in cls.attr_types.values():
+                target = self.project.resolve_class(type_name, cls.module)
+                if target is not None and \
+                        target.qualname not in pulled:
+                    pulled[target.qualname] = target
+                    frontier.append(target)
+        self.analyzed = list(pulled.values())
+
+    # -- roots -------------------------------------------------------------
+
+    def _public(self, method: FunctionInfo) -> bool:
+        name = method.name
+        if name == "__call__":
+            return True
+        return not name.startswith("_")
+
+    def _compute_roots(self) -> None:
+        entries: Dict[str, List[FunctionInfo]] = {_API_ROOT: []}
+        for cls in self.seed_classes:
+            for method in cls.methods.values():
+                if self._public(method):
+                    entries[_API_ROOT].append(method)
+            for target in cls.thread_targets:
+                label = f"thread:{target.qualname}"
+                entries.setdefault(label, []).append(target)
+        init_entries = [cls.methods["__init__"] for cls in self.analyzed
+                        if "__init__" in cls.methods]
+
+        for label, fns in entries.items():
+            for module_name, qualname in self.project.reachable(fns):
+                self._roots.setdefault(qualname, set()).add(label)
+        for _module, qualname in self.project.reachable(init_entries):
+            if qualname not in self._roots:
+                self._init_only.add(qualname)
+
+    # -- lock identification ----------------------------------------------
+
+    def _attr_ctor(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        return _ctor_name(cls.attr_init_values.get(attr))
+
+    def _is_sync_attr(self, cls: ClassInfo, attr: str) -> bool:
+        ctor = self._attr_ctor(cls, attr)
+        if ctor in SYNC_CONSTRUCTORS:
+            return True
+        # Constructor-injected lock: unknown init value but used as a
+        # bare ``with self.attr:`` context manager somewhere in the
+        # class — treat as a lock.
+        if attr not in cls.attr_init_values:
+            for method in cls.methods.values():
+                for node in ast.walk(method.node):
+                    if isinstance(node, (ast.With, ast.AsyncWith)):
+                        for item in node.items:
+                            if _self_attr(item.context_expr) == attr:
+                                return True
+        return False
+
+    def _lock_symbol(self, cls: ClassInfo, expr: ast.AST) -> Optional[str]:
+        """Canonical name of a lock expression inside ``cls`` methods."""
+        attr = _self_attr(expr)
+        if attr is not None and self._is_sync_attr(cls, attr):
+            return f"{cls.name}.{attr}"
+        # ``self.sub.lock`` via a typed attribute.
+        if isinstance(expr, ast.Attribute):
+            base_attr = _self_attr(expr.value)
+            if base_attr is not None:
+                type_name = cls.attr_types.get(base_attr)
+                if type_name is not None:
+                    target = self.project.resolve_class(
+                        type_name, cls.module)
+                    if target is not None and \
+                            self._is_sync_attr(target, expr.attr):
+                        return f"{target.name}.{expr.attr}"
+        return None
+
+    # -- held-lock computation --------------------------------------------
+
+    def _held_map(self, method: FunctionInfo,
+                  entry: FrozenSet[str]) -> Dict[int, FrozenSet[str]]:
+        """id(element) -> locks held when the element executes."""
+        cls = method.cls
+        assert cls is not None
+        cfg = CFG(method.node)
+
+        def transfer(state, elem):
+            if state is None:
+                return None
+            held = set(state)
+            for node in ast.walk(elem) if not isinstance(
+                    elem, (ast.With, ast.AsyncWith)) else []:
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute):
+                    symbol = self._lock_symbol(cls, node.func.value)
+                    if symbol is None:
+                        continue
+                    if node.func.attr == "acquire":
+                        held.add(symbol)
+                    elif node.func.attr == "release":
+                        held.discard(symbol)
+            return frozenset(held)
+
+        def meet(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return a & b
+
+        states = dataflow_forward(
+            cfg, init=None, entry_state=entry, transfer=transfer,
+            meet=meet, equals=lambda a, b: a == b)
+
+        # Per-element flow state (linear scan inside each block), then
+        # union with the lexical ``with`` stack.
+        flow: Dict[int, FrozenSet[str]] = {}
+        for block in cfg.blocks:
+            state = states.get(block.index)
+            for elem in block.elements:
+                flow[id(elem)] = (entry if state is None
+                                  else frozenset(state))
+                state = transfer(state, elem)
+
+        lexical: Dict[int, Set[str]] = {}
+
+        def descend(stmts: Sequence[ast.stmt],
+                    stack: FrozenSet[str]) -> None:
+            for stmt in stmts:
+                lexical[id(stmt)] = set(stack)
+                # If/While contribute their *test* expression as the
+                # CFG element; register it under the same stack.
+                test = getattr(stmt, "test", None)
+                if test is not None:
+                    lexical[id(test)] = set(stack)
+                inner = stack
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    acquired = set()
+                    for item in stmt.items:
+                        symbol = self._lock_symbol(cls, item.context_expr)
+                        if symbol is not None:
+                            acquired.add(symbol)
+                    inner = stack | frozenset(acquired)
+                for field in ("body", "orelse", "finalbody"):
+                    descend(getattr(stmt, field, []) or [], inner)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    lexical[id(handler)] = set(inner)
+                    descend(handler.body, inner)
+
+        descend(method.node.body, frozenset())
+
+        out: Dict[int, FrozenSet[str]] = {}
+        for elem in cfg.elements():
+            held = set(flow.get(id(elem), entry))
+            held |= lexical.get(id(elem), set())
+            out[id(elem)] = frozenset(held)
+        self._cfg_cache = cfg
+        return out
+
+    # -- interprocedural entry locksets ------------------------------------
+
+    def _infer_entry_locksets(self) -> None:
+        methods = [m for cls in self.analyzed for m in cls.methods.values()]
+        for method in methods:
+            self._entry[method.qualname] = frozenset()
+        for _round in range(4):
+            callsite_held: Dict[str, Optional[FrozenSet[str]]] = {}
+            for method in methods:
+                qualname = method.qualname
+                if qualname not in self._roots and \
+                        qualname not in self._init_only:
+                    continue
+                held_map = self._held_map(
+                    method, self._entry[qualname])
+                cfg = self._cfg_cache
+                for elem in cfg.elements():
+                    held = held_map[id(elem)]
+                    for node in (ast.walk(elem) if not isinstance(
+                            elem, (ast.With, ast.AsyncWith)) else
+                            _with_head_nodes(elem)):
+                        if not isinstance(node, ast.Call):
+                            continue
+                        for callee in self.project.resolve_call(
+                                node, method):
+                            key = callee.qualname
+                            prev = callsite_held.get(key)
+                            callsite_held[key] = (
+                                held if prev is None else prev & held)
+            changed = False
+            for method in methods:
+                if self._public(method) or method.name == "__init__":
+                    continue
+                if any(method in cls.thread_targets
+                       for cls in self.seed_classes):
+                    continue
+                inferred = callsite_held.get(method.qualname)
+                if inferred and inferred != self._entry[method.qualname]:
+                    self._entry[method.qualname] = inferred
+                    changed = True
+            if not changed:
+                break
+
+    # -- access extraction -------------------------------------------------
+
+    def _collect_and_convict(self) -> None:
+        accesses: Dict[Tuple[str, str], List[_Access]] = {}
+        class_of: Dict[str, ClassInfo] = {}
+        for cls in self.analyzed:
+            for method in cls.methods.values():
+                qualname = method.qualname
+                roots = self._roots.get(qualname)
+                if not roots:
+                    continue  # unreached or init-only: exempt
+                held_map = self._held_map(
+                    method, self._entry.get(qualname, frozenset()))
+                cfg = self._cfg_cache
+                for elem in cfg.elements():
+                    held = held_map[id(elem)]
+                    for key, kind, line, exempt in self._element_accesses(
+                            cls, elem):
+                        # Eraser's first-thread exclusion: inside an
+                        # object's own __init__, self (and sub-objects
+                        # constructed there) are not yet published, so
+                        # self.X accesses cannot race.
+                        if method.name == "__init__":
+                            exempt = True
+                        class_of[key[0]] = self._owner(cls, key[0])
+                        accesses.setdefault(key, []).append(_Access(
+                            kind, line, held, method, exempt))
+        self._roots_by_method = {
+            qualname: roots for qualname, roots in self._roots.items()}
+        for key in sorted(accesses):
+            self._convict(key, accesses[key], class_of[key[0]])
+
+    def _owner(self, cls: ClassInfo, name: str) -> ClassInfo:
+        if cls.name == name:
+            return cls
+        found = self.project.resolve_class(name, cls.module)
+        return found if found is not None else cls
+
+    def _element_accesses(self, cls: ClassInfo, elem: ast.AST
+                          ) -> List[Tuple[Tuple[str, str], str, int, bool]]:
+        """(key=(class name, attr), kind, line, exempt) per element."""
+        if isinstance(elem, (ast.With, ast.AsyncWith)):
+            roots: List[ast.AST] = [i.context_expr for i in elem.items]
+        elif isinstance(elem, (ast.For, ast.AsyncFor)):
+            roots = [elem.target, elem.iter]
+        elif isinstance(elem, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef, ast.ExceptHandler)):
+            roots = []
+        else:
+            roots = [elem]
+        out: List[Tuple[Tuple[str, str], str, int, bool]] = []
+        for root in roots:
+            parents: Dict[int, ast.AST] = {}
+            for node in ast.walk(root):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            for node in ast.walk(root):
+                access = self._classify(cls, node, parents)
+                if access is not None:
+                    out.append(access)
+        return out
+
+    def _resolve_receiver(self, cls: ClassInfo, node: ast.Attribute
+                          ) -> Optional[Tuple[ClassInfo, str]]:
+        """(owning class, attr) for ``self.X`` or ``self.typed.Y``."""
+        attr = _self_attr(node)
+        if attr is not None:
+            return cls, attr
+        base_attr = _self_attr(node.value)
+        if base_attr is not None:
+            type_name = cls.attr_types.get(base_attr)
+            if type_name is not None:
+                target = self.project.resolve_class(type_name, cls.module)
+                if target is not None:
+                    return target, node.attr
+        return None
+
+    def _classify(self, cls: ClassInfo, node: ast.AST,
+                  parents: Dict[int, ast.AST]
+                  ) -> Optional[Tuple[Tuple[str, str], str, int, bool]]:
+        if not isinstance(node, ast.Attribute):
+            return None
+        resolved = self._resolve_receiver(cls, node)
+        if resolved is None:
+            return None
+        owner, attr = resolved
+        key = (owner.name, attr)
+        ctor = self._attr_ctor(owner, attr)
+
+        # Sync primitives are internally consistent; typed sub-object
+        # bindings are wiring (re-assignments still register as writes
+        # through the Store branch below).
+        if self._is_sync_attr(owner, attr):
+            return None
+
+        parent = parents.get(id(node))
+        if isinstance(node.ctx, ast.Store):
+            if attr in owner.attr_types and owner is cls and \
+                    _self_attr(node) is None:
+                return None
+            return key, "write", node.lineno, False
+        if isinstance(node.ctx, ast.Del):
+            return key, "write", node.lineno, False
+
+        # Load context: a subscript store (``self.d[k] = v``) or a
+        # mutating method call mutates the attribute's value.
+        if isinstance(parent, ast.Subscript) and \
+                isinstance(parent.ctx, (ast.Store, ast.Del)):
+            return key, "write", node.lineno, False
+        if isinstance(parent, ast.Attribute) and \
+                isinstance(parents.get(id(parent)), ast.Call) and \
+                parents[id(parent)].func is parent:
+            # node is the receiver of a method call ``self.X.m(...)``.
+            method_name = parent.attr
+            if attr in owner.attr_types:
+                return None  # call into a typed sub-object: a call edge
+            if method_name in _MUTATING_METHODS:
+                exempt = (ctor in ATOMIC_CONTAINER_CONSTRUCTORS
+                          and method_name in _DEQUE_ATOMIC)
+                return key, "write", node.lineno, exempt
+            return key, "read", node.lineno, False
+        if isinstance(parent, ast.Attribute):
+            # Chained attribute read handled when classifying ``parent``.
+            if attr in owner.attr_types:
+                return None
+        if isinstance(parent, ast.Call) and parent.func is node:
+            # ``self._clock()`` / ``self._emit(...)``: invoking the
+            # attribute reads the binding.
+            return key, "read", node.lineno, False
+        if attr in owner.attr_types and owner is cls and \
+                _self_attr(node) is not None and \
+                isinstance(parent, ast.Attribute):
+            return None
+        return key, "read", node.lineno, False
+
+    # -- conviction --------------------------------------------------------
+
+    def _convict(self, key: Tuple[str, str], acc: List[_Access],
+                 owner: ClassInfo) -> None:
+        live = [a for a in acc if not a.exempt]
+        if not live:
+            return
+        roots: Set[str] = set()
+        for a in live:
+            roots |= self._roots_by_method.get(a.method.qualname, set())
+        if len(roots) < 2:
+            return
+        writes = [a for a in live if a.kind == "write"]
+        if not writes:
+            return
+        candidate = None
+        for a in live:
+            candidate = a.held if candidate is None else candidate & a.held
+        if candidate:
+            return
+        offender = min(writes, key=lambda a: (len(a.held), a.line))
+        cls_name, attr = key
+
+        def held_desc(a: _Access) -> str:
+            return ("{" + ", ".join(sorted(a.held)) + "}" if a.held
+                    else "no lock")
+
+        other = next((a for a in live if a is not offender), offender)
+        self.findings.append(Finding(
+            path=owner.module.path, line=offender.line, rule="RC004",
+            message=(f"attribute '{attr}' of {cls_name} is written in "
+                     f"{offender.method.name}() holding "
+                     f"{held_desc(offender)} but also accessed in "
+                     f"{other.method.name}() holding {held_desc(other)}; "
+                     f"reachable from {', '.join(sorted(roots))} with no "
+                     "common lock"),
+            fixit=(f"guard every access to '{attr}' with one lock "
+                   "(candidate lockset is empty)"),
+            context=f"{cls_name}.{attr}"))
+
+    # -- lock ordering -----------------------------------------------------
+
+    def _check_lock_order(self) -> None:
+        for cls in self.analyzed:
+            for method in cls.methods.values():
+                qualname = method.qualname
+                if qualname not in self._roots and \
+                        qualname not in self._init_only:
+                    continue
+                entry = self._entry.get(qualname, frozenset())
+                self._order_edges_for(cls, method, entry)
+        graph: Dict[str, Set[str]] = {}
+        for (src, dst) in self._order_edges:
+            graph.setdefault(src, set()).add(dst)
+        for cycle in self._find_cycles(graph):
+            edge = (cycle[0], cycle[1])
+            path, line = self._order_edges[edge]
+            chain = " -> ".join(cycle + (cycle[0],))
+            self.findings.append(Finding(
+                path=path, line=line, rule="RC003",
+                message=(f"lock acquisition order cycle: {chain}; two "
+                         "threads taking these locks in opposite order "
+                         "deadlock"),
+                fixit="impose a single global acquisition order",
+                context=cycle[0]))
+
+    def _order_edges_for(self, cls: ClassInfo, method: FunctionInfo,
+                         entry: FrozenSet[str]) -> None:
+        held_map = self._held_map(method, entry)
+        cfg = self._cfg_cache
+        for elem in cfg.elements():
+            held = held_map[id(elem)]
+            acquired: List[Tuple[str, int]] = []
+            if isinstance(elem, (ast.With, ast.AsyncWith)):
+                for item in elem.items:
+                    symbol = self._lock_symbol(cls, item.context_expr)
+                    if symbol is not None:
+                        acquired.append((symbol, elem.lineno))
+            else:
+                for node in ast.walk(elem):
+                    if isinstance(node, ast.Call) and \
+                            isinstance(node.func, ast.Attribute) and \
+                            node.func.attr == "acquire":
+                        symbol = self._lock_symbol(cls, node.func.value)
+                        if symbol is not None:
+                            acquired.append((symbol, node.lineno))
+            stack = set(held)
+            for symbol, line in acquired:
+                for prior in stack:
+                    if prior != symbol:
+                        self._order_edges.setdefault(
+                            (prior, symbol),
+                            (cls.module.path, line))
+                stack.add(symbol)
+
+    def _find_cycles(self, graph: Dict[str, Set[str]]
+                     ) -> List[Tuple[str, ...]]:
+        cycles: List[Tuple[str, ...]] = []
+        seen_cycles: Set[FrozenSet[str]] = set()
+
+        def dfs(node: str, path: List[str], on_path: Set[str],
+                visited: Set[str]) -> None:
+            visited.add(node)
+            on_path.add(node)
+            path.append(node)
+            for succ in sorted(graph.get(node, ())):
+                if succ in on_path:
+                    start = path.index(succ)
+                    cycle = tuple(path[start:])
+                    key = frozenset(cycle)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        # Canonical rotation: start at the smallest.
+                        pivot = cycle.index(min(cycle))
+                        cycles.append(cycle[pivot:] + cycle[:pivot])
+                elif succ not in visited:
+                    dfs(succ, path, on_path, visited)
+            path.pop()
+            on_path.discard(node)
+
+        visited: Set[str] = set()
+        for node in sorted(graph):
+            if node not in visited:
+                dfs(node, [], set(), visited)
+        return cycles
+
+
+def _with_head_nodes(elem: ast.AST) -> List[ast.AST]:
+    out: List[ast.AST] = []
+    for item in elem.items:
+        out.extend(ast.walk(item.context_expr))
+    return out
+
+
+def analyze_threads(project: Project) -> List[Finding]:
+    """RC003/RC004 findings for a project's threaded classes."""
+    return ThreadAnalyzer(project).run()
+
+
+__all__ = ["ThreadAnalyzer", "analyze_threads"]

@@ -214,6 +214,46 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (analyze_paths, apply_baseline,
+                                default_baseline_path, load_baseline,
+                                render_sarif, render_text, rules_catalog,
+                                save_baseline)
+    from repro.analysis.baseline import BaselineError
+
+    paths = args.paths
+    if not paths:
+        import repro
+        paths = [str(__import__("pathlib").Path(repro.__file__).parent)]
+    findings = analyze_paths(paths)
+
+    if args.update_baseline:
+        target = args.baseline or default_baseline_path() or \
+            "ANALYSIS_BASELINE.json"
+        save_baseline(target, findings)
+        print(f"analyze: baseline written to {target} "
+              f"({len(findings)} finding(s))")
+        return 0
+
+    baseline_path = default_baseline_path(args.baseline)
+    new = findings
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+        findings, new = apply_baseline(findings, baseline)
+
+    if args.format == "sarif":
+        print(render_sarif(findings, rules_catalog()))
+    elif args.format == "json" or args.json:
+        _emit_json([f.to_dict() for f in findings])
+    else:
+        print(render_text(findings))
+    return 1 if new else 0
+
+
 def _cmd_mc(args) -> int:
     from repro.common.config import ConfigError
     from repro.mc import DEFAULT_STATE_CAP, ModelConfig, check
@@ -628,6 +668,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output format (json also available via the "
                         "global --json flag)")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="whole-project static analysis: the lint rules plus the "
+             "concurrency passes (lockset RC001/RC004, section "
+             "dataflow RC002, lock-order RC003)")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to analyze (default: the "
+                        "installed repro package)")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text",
+                   help="output format (sarif emits a SARIF 2.1.0 log)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="findings baseline to compare against "
+                        "(default: ./ANALYSIS_BASELINE.json when "
+                        "present); exit 1 only on findings not in it")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from this run's findings "
+                        "and exit 0")
+    p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser(
         "mc",

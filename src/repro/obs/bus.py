@@ -81,6 +81,9 @@ class EventBus:
 
     def publish(self, event: Event) -> None:
         """Dispatch a pre-built event to every matching subscriber."""
+        # Advisory counter, baselined in ANALYSIS_BASELINE.json: a lost
+        # increment under concurrent publishes skews a debugging stat,
+        # never a result; locking the publish fast path isn't worth it.
         self.emitted += 1
         for sub, kind_set, ns_set in self._subs:
             if kind_set is None and ns_set is None:
@@ -119,6 +122,9 @@ class RingBufferLog:
         if not self._wanted(event.kind):
             return
         if len(self._events) == self._events.maxlen:
+            # Advisory counter, baselined in ANALYSIS_BASELINE.json: the
+            # deque append itself is GIL-atomic; an under-count of drops
+            # under concurrent appends is acceptable for a debug stat.
             self.dropped += 1
         self._events.append(event)
 

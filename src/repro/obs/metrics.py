@@ -13,6 +13,7 @@ attached to an :class:`repro.obs.bus.EventBus` it counts events per kind
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Optional
 
 from repro.common.stats import Counter, Histogram, StatsRegistry
@@ -99,6 +100,11 @@ class MetricsRegistry:
 
     def __init__(self, clock: Optional[Callable[[], int]] = None) -> None:
         self._clock = clock if clock is not None else (lambda: 0)
+        # Guards the four name->metric maps (create-on-first-use races
+        # when the registry is shared between the scheduler thread and
+        # API threads). Metric *values* are not covered: increments on
+        # an already-created Counter/Gauge are tolerated as advisory.
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -107,24 +113,33 @@ class MetricsRegistry:
     # -- metric accessors (create on first use, like StatsRegistry) -------
 
     def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+        return metric
 
     def gauge(self, name: str) -> Gauge:
-        if name not in self._gauges:
-            self._gauges[name] = Gauge(name)
-        return self._gauges[name]
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+        return metric
 
     def histogram(self, name: str) -> Histogram:
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
-        return self._histograms[name]
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+        return metric
 
     def timer(self, name: str) -> CycleTimer:
-        if name not in self._timers:
-            self._timers[name] = CycleTimer(name, self._clock)
-        return self._timers[name]
+        with self._lock:
+            metric = self._timers.get(name)
+            if metric is None:
+                metric = self._timers[name] = CycleTimer(name,
+                                                         self._clock)
+        return metric
 
     # -- bus subscription --------------------------------------------------
 
@@ -159,33 +174,38 @@ class MetricsRegistry:
     # -- queries -----------------------------------------------------------
 
     def value(self, name: str) -> float:
-        if name in self._counters:
-            return self._counters[name].value
-        if name in self._gauges:
-            return self._gauges[name].value
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name].value
+            if name in self._gauges:
+                return self._gauges[name].value
         return 0
 
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of counters, gauges, and timer totals."""
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            timers = list(self._timers.items())
         out: Dict[str, float] = {}
-        for name, c in self._counters.items():
+        for name, c in counters:
             out[name] = c.value
-        for name, g in self._gauges.items():
+        for name, g in gauges:
             out[name] = g.value
-        for name, t in self._timers.items():
+        for name, t in timers:
             out[f"{name}.cycles"] = t.total
             out[f"{name}.intervals"] = t.intervals
         return dict(sorted(out.items()))
 
     def histograms(self) -> Dict[str, Histogram]:
-        return dict(self._histograms)
+        with self._lock:
+            return dict(self._histograms)
 
     def reset(self) -> None:
-        for c in self._counters.values():
-            c.reset()
-        for g in self._gauges.values():
-            g.reset()
-        for h in self._histograms.values():
-            h.reset()
-        for t in self._timers.values():
-            t.reset()
+        with self._lock:
+            metrics = (list(self._counters.values())
+                       + list(self._gauges.values())
+                       + list(self._histograms.values())
+                       + list(self._timers.values()))
+        for metric in metrics:
+            metric.reset()

@@ -77,6 +77,9 @@ class SweepService:
         self._cancel_lock = threading.Lock()
         self._stop = threading.Event()
         self._scheduler: Optional[threading.Thread] = None
+        # Guards _current_job: written by the scheduler thread, read by
+        # health() on API threads.
+        self._state_lock = threading.Lock()
         self._current_job: Optional[str] = None
 
     # -- observability plumbing -------------------------------------------
@@ -210,12 +213,14 @@ class SweepService:
     # -- health / metrics --------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
+        with self._state_lock:
+            current = self._current_job
         return {
             "status": "ok",
             "uptime_seconds": round(time.monotonic() - self._t0, 3),
             "workers_alive": self.fleet.alive_count(),
             "queue_depth": self.queue.depth(),
-            "current_job": self._current_job,
+            "current_job": current,
             "runs_stored": self.repository.run_count(),
         }
 
@@ -231,7 +236,7 @@ class SweepService:
         snapshot["svc.cache.hit_rate"] = (
             round(cache_hits / resolved, 6) if resolved else 0.0)
         snapshot["svc.workers.alive"] = self.fleet.alive_count()
-        snapshot["svc.workers.restarts"] = self.fleet.restarts
+        snapshot["svc.workers.restarts"] = self.fleet.restart_count()
         snapshot["svc.queue.depth"] = self.queue.depth()
         return snapshot
 
@@ -246,7 +251,8 @@ class SweepService:
             if self._cancelled(job_id):
                 self._finalize_cancel(job_id)
                 continue
-            self._current_job = job_id
+            with self._state_lock:
+                self._current_job = job_id
             try:
                 self._run_job(job_id)
             except Exception as exc:  # defensive: keep the loop alive
@@ -255,7 +261,8 @@ class SweepService:
                 self.metrics.counter("svc.jobs.failed").add()
                 self._emit("svc.job.failed", job=job_id, failed=-1)
             finally:
-                self._current_job = None
+                with self._state_lock:
+                    self._current_job = None
 
     def _run_job(self, job_id: str) -> None:
         job = self.repository.get_job(job_id)

@@ -29,6 +29,7 @@ timeout (retry budgets, failure records) is the scheduler's decision in
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 import traceback
 from dataclasses import dataclass
@@ -119,21 +120,34 @@ class WorkerFleet:
         self.size = size
         self._emit = emit or (lambda kind, **fields: None)
         self._ctx = _mp_context()
+        # Guards _workers / _next_id / restarts / _started: the API
+        # methods run on the caller's thread while the scheduler thread
+        # polls. Worker *records* (task/deadline/...) are only touched
+        # by whoever holds the worker, so the lock covers membership and
+        # counters, not per-worker fields.
+        self._lock = threading.Lock()
         self._workers: Dict[int, _Worker] = {}
         self._next_id = 0
         self.restarts = 0
         self._started = False
 
+    def _snapshot(self) -> List[_Worker]:
+        with self._lock:
+            return list(self._workers.values())
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
-        self._started = True
-        while len(self._workers) < self.size:
+        with self._lock:
+            self._started = True
+            need = self.size - len(self._workers)
+        for _ in range(need):
             self._spawn()
 
     def _spawn(self) -> _Worker:
-        worker_id = self._next_id
-        self._next_id += 1
+        with self._lock:
+            worker_id = self._next_id
+            self._next_id += 1
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(target=_fleet_worker,
                                  args=(worker_id, child_conn),
@@ -142,12 +156,14 @@ class WorkerFleet:
         proc.start()
         child_conn.close()
         worker = _Worker(worker_id, proc, parent_conn)
-        self._workers[worker_id] = worker
+        with self._lock:
+            self._workers[worker_id] = worker
         self._emit("svc.worker.spawn", worker=worker_id)
         return worker
 
     def _reap(self, worker: _Worker) -> None:
-        self._workers.pop(worker.worker_id, None)
+        with self._lock:
+            self._workers.pop(worker.worker_id, None)
         try:
             worker.conn.close()
         except OSError:
@@ -157,19 +173,23 @@ class WorkerFleet:
         worker.proc.join()
 
     def alive_count(self) -> int:
-        return sum(1 for w in self._workers.values() if w.proc.is_alive())
+        return sum(1 for w in self._snapshot() if w.proc.is_alive())
 
     def idle_count(self) -> int:
-        return sum(1 for w in self._workers.values()
+        return sum(1 for w in self._snapshot()
                    if w.task is None and not w.draining
                    and w.proc.is_alive())
 
     def busy_count(self) -> int:
-        return sum(1 for w in self._workers.values() if w.task is not None)
+        return sum(1 for w in self._snapshot() if w.task is not None)
 
     def busy_tasks(self) -> List[CellTask]:
-        return [w.task for w in self._workers.values()
+        return [w.task for w in self._snapshot()
                 if w.task is not None]
+
+    def restart_count(self) -> int:
+        with self._lock:
+            return self.restarts
 
     # -- dispatch ----------------------------------------------------------
 
@@ -181,7 +201,7 @@ class WorkerFleet:
         worker is terminated (and the cell reported as ``timeout``) if
         it is still running past it.
         """
-        for worker in self._workers.values():
+        for worker in self._snapshot():
             if worker.task is None and not worker.draining \
                     and worker.proc.is_alive():
                 worker.task = task
@@ -205,22 +225,24 @@ class WorkerFleet:
         one sweep of message draining, liveness checks, deadline
         enforcement, and respawning (unless draining).
         """
-        conns = [w.conn for w in self._workers.values()]
+        conns = [w.conn for w in self._snapshot()]
         if conns:
             try:
                 mp_connection.wait(conns, timeout=wait)
             except OSError:
                 pass
         messages: List[FleetMessage] = []
-        for worker in list(self._workers.values()):
+        for worker in self._snapshot():
             messages.extend(self._poll_worker(worker))
-        if self._started:
-            live = sum(1 for w in self._workers.values()
-                       if w.proc.is_alive() or w.draining)
-            while live < self.size:
-                self._spawn()
-                self.restarts += 1
-                live += 1
+        with self._lock:
+            respawn = 0
+            if self._started:
+                live = sum(1 for w in self._workers.values()
+                           if w.proc.is_alive() or w.draining)
+                respawn = max(0, self.size - live)
+                self.restarts += respawn
+        for _ in range(respawn):
+            self._spawn()
         return messages
 
     def _poll_worker(self, worker: _Worker) -> List[FleetMessage]:
@@ -288,7 +310,7 @@ class WorkerFleet:
         cancelled job does not shrink the fleet.
         """
         killed: List[CellTask] = []
-        for worker in list(self._workers.values()):
+        for worker in self._snapshot():
             if worker.task is not None and worker.task.job_id == job_id:
                 killed.append(worker.task)
                 worker.task = None
@@ -301,19 +323,20 @@ class WorkerFleet:
         Returns any messages (completions included) collected while
         draining, so the caller can persist late results.
         """
-        self._started = False  # no respawns from here on
+        with self._lock:
+            self._started = False  # no respawns from here on
         deadline = time.monotonic() + timeout
         messages: List[FleetMessage] = []
-        for worker in self._workers.values():
+        for worker in self._snapshot():
             if worker.task is None and not worker.draining:
                 worker.draining = True
                 try:
                     worker.conn.send(None)
                 except (OSError, BrokenPipeError):
                     pass
-        while self._workers and time.monotonic() < deadline:
+        while self._snapshot() and time.monotonic() < deadline:
             messages.extend(self.poll(wait=0.05))
-            for worker in self._workers.values():
+            for worker in self._snapshot():
                 if worker.task is None and not worker.draining:
                     worker.draining = True
                     try:
@@ -321,9 +344,9 @@ class WorkerFleet:
                     except (OSError, BrokenPipeError):
                         pass
             if all(w.draining and w.task is None
-                   for w in self._workers.values()):
+                   for w in self._snapshot()):
                 # Everyone acknowledged; give them a moment to exit.
-                for worker in list(self._workers.values()):
+                for worker in self._snapshot():
                     worker.proc.join(timeout=max(
                         0.0, deadline - time.monotonic()))
                     if not worker.proc.is_alive():
@@ -335,6 +358,7 @@ class WorkerFleet:
 
     def stop(self) -> None:
         """Hard stop: terminate every remaining worker immediately."""
-        self._started = False
-        for worker in list(self._workers.values()):
+        with self._lock:
+            self._started = False
+        for worker in self._snapshot():
             self._reap(worker)

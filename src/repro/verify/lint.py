@@ -441,14 +441,48 @@ def _check_vr004(tree: ast.Module, path: str) -> List[LintFinding]:
     return _check_wallclock(tree, path, "VR004")
 
 
-def _set_like(expr: ast.AST, func: Optional[ast.AST],
-              depth: int = 0) -> bool:
+def _order_normalizing(expr: ast.AST,
+                       wrappers: Optional[Dict[str, ast.FunctionDef]],
+                       depth: int = 0) -> bool:
+    """Whether an expression's value has a deterministic order.
+
+    ``sorted(...)``, ``list(sorted(...))``/``tuple(sorted(...))``, and
+    calls to in-module wrapper functions whose every return value is
+    itself order-normalizing. Used to *skip* set-iteration findings:
+    once a value has passed through ``sorted``, iterating it is
+    reproducible no matter what collection it started as.
+    """
+    if depth > 3 or not isinstance(expr, ast.Call):
+        return False
+    call_func = expr.func
+    if not isinstance(call_func, ast.Name):
+        return False
+    if call_func.id == "sorted":
+        return True
+    if call_func.id in ("list", "tuple") and len(expr.args) == 1:
+        return _order_normalizing(expr.args[0], wrappers, depth + 1)
+    target = (wrappers or {}).get(call_func.id)
+    if target is not None:
+        returns = [node for node in _walk_scope(target)
+                   if isinstance(node, ast.Return)
+                   and node.value is not None]
+        return bool(returns) and all(
+            _order_normalizing(node.value, wrappers, depth + 1)
+            for node in returns)
+    return False
+
+
+def _set_like(expr: ast.AST, func: Optional[ast.AST], depth: int = 0,
+              wrappers: Optional[Dict[str, ast.FunctionDef]] = None
+              ) -> bool:
     """Conservatively decide whether an expression evaluates to a set.
 
     Handles literals (``{a, b}``), constructors (``set(...)`` /
     ``frozenset(...)``), set comprehensions, binary set algebra on
     set-like operands, and local names assigned one of the above in the
-    enclosing function (flow-insensitive).
+    enclosing function (flow-insensitive). A name any of whose
+    assignments is order-normalizing (``sorted(...)`` or a wrapper over
+    it) is *not* set-like: the normalized value shadows the set.
     """
     if depth > 4:
         return False
@@ -462,29 +496,35 @@ def _set_like(expr: ast.AST, func: Optional[ast.AST],
         if isinstance(call_func, ast.Attribute) and call_func.attr in (
                 "union", "intersection", "difference",
                 "symmetric_difference"):
-            return _set_like(call_func.value, func, depth + 1)
+            return _set_like(call_func.value, func, depth + 1, wrappers)
         return False
     if isinstance(expr, ast.BinOp) and isinstance(
             expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
-        return (_set_like(expr.left, func, depth + 1)
-                or _set_like(expr.right, func, depth + 1))
+        return (_set_like(expr.left, func, depth + 1, wrappers)
+                or _set_like(expr.right, func, depth + 1, wrappers))
     if isinstance(expr, ast.Name) and func is not None:
+        values: List[ast.AST] = []
         for node in _walk_scope(func):
             if isinstance(node, ast.Assign) and any(
                     isinstance(t, ast.Name) and t.id == expr.id
                     for t in node.targets):
-                if _set_like(node.value, func, depth + 1):
-                    return True
+                values.append(node.value)
             elif (isinstance(node, ast.AnnAssign)
                     and isinstance(node.target, ast.Name)
                     and node.target.id == expr.id
                     and node.value is not None):
-                if _set_like(node.value, func, depth + 1):
-                    return True
+                values.append(node.value)
+        if any(_order_normalizing(value, wrappers) for value in values):
+            return False
+        return any(_set_like(value, func, depth + 1, wrappers)
+                   for value in values)
     return False
 
 
-def _set_tainted_dicts(func: ast.AST) -> Set[str]:
+def _set_tainted_dicts(
+        func: ast.AST,
+        wrappers: Optional[Dict[str, ast.FunctionDef]] = None
+        ) -> Set[str]:
     """Local dict names whose keys were inserted while looping a set.
 
     ``for k in some_set: d[k] = ...`` makes ``d``'s insertion order —
@@ -493,7 +533,7 @@ def _set_tainted_dicts(func: ast.AST) -> Set[str]:
     tainted: Set[str] = set()
     for node in _walk_scope(func):
         if not isinstance(node, ast.For) or \
-                not _set_like(node.iter, func):
+                not _set_like(node.iter, func, wrappers=wrappers):
             continue
         for inner in ast.walk(node):
             target: Optional[ast.AST] = None
@@ -522,18 +562,20 @@ def _check_set_iteration(tree: ast.Module, path: str, rule: str,
     feed order-insensitive reductions (``max``, ``sum``, ``any``).
     """
     findings: List[LintFinding] = []
+    wrappers = {node.name: node for node in tree.body
+                if isinstance(node, ast.FunctionDef)}
     for func in ast.walk(tree):
         if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
         if generators_only and not _is_generator(func):
             continue
-        tainted = _set_tainted_dicts(func)
+        tainted = _set_tainted_dicts(func, wrappers)
         for node in _walk_scope(func):
             if not isinstance(node, ast.For):
                 continue
             it = node.iter
             bad: Optional[str] = None
-            if _set_like(it, func):
+            if _set_like(it, func, wrappers=wrappers):
                 bad = "a set"
             elif (isinstance(it, ast.Call)
                     and isinstance(it.func, ast.Attribute)
@@ -565,23 +607,17 @@ def _check_vr005(tree: ast.Module, path: str) -> List[LintFinding]:
 # ---------------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
-    """Lint one module's source; returns unsuppressed findings."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [LintFinding(path=path, line=exc.lineno or 1, rule="VR000",
-                            message=f"syntax error: {exc.msg}",
-                            fixit="fix the syntax error")]
-    findings: List[LintFinding] = []
-    findings.extend(_check_vr001(tree, path))
-    findings.extend(_check_vr002(tree, path))
-    findings.extend(_check_vr003(tree, path))
-    findings.extend(_check_vr004(tree, path))
-    findings.extend(_check_vr005(tree, path))
-    supp = _suppressions(source)
-    kept = [f for f in findings if not _is_suppressed(f, supp)]
-    kept.sort(key=lambda f: (f.path, f.line, f.rule))
-    return kept
+    """Lint one module's source; returns unsuppressed findings.
+
+    Delegates to the plugin registry
+    (:mod:`repro.analysis.registry`), which replays the original
+    composition — parse, VR checks in registration order, suppression
+    comments, sort — so output is identical to the pre-registry linter.
+    """
+    # Imported here, not at module top: the registry imports this
+    # module's check functions to register them.
+    from repro.analysis.registry import run_module_scope
+    return run_module_scope("workload", source, path)
 
 
 def lint_file(path: str) -> List[LintFinding]:

@@ -39,8 +39,7 @@ import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.verify.lint import (LintFinding, _check_set_iteration,
-                               _check_wallclock, _is_suppressed,
-                               _suppressions)
+                               _check_wallclock)
 
 #: rule id -> one-line description (the ``--self`` catalog).
 SELF_RULES: Dict[str, str] = {
@@ -80,25 +79,28 @@ def _check_sr001(tree: ast.Module, path: str) -> List[LintFinding]:
     return findings
 
 
+def _check_sr002(tree: ast.Module, path: str) -> List[LintFinding]:
+    return _check_wallclock(tree, path, "SR002")
+
+
+def _check_sr003(tree: ast.Module, path: str) -> List[LintFinding]:
+    return _check_set_iteration(tree, path, "SR003",
+                                generators_only=True)
+
+
 def selflint_source(source: str,
                     path: str = "<string>") -> List[LintFinding]:
-    """Self-lint one module's source; returns unsuppressed findings."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [LintFinding(path=path, line=exc.lineno or 1,
-                            rule="SR000",
-                            message=f"syntax error: {exc.msg}",
-                            fixit="fix the syntax error")]
-    findings: List[LintFinding] = []
-    findings.extend(_check_sr001(tree, path))
-    findings.extend(_check_wallclock(tree, path, "SR002"))
-    findings.extend(_check_set_iteration(tree, path, "SR003",
-                                         generators_only=True))
-    supp = _suppressions(source)
-    kept = [f for f in findings if not _is_suppressed(f, supp)]
-    kept.sort(key=lambda f: (f.path, f.line, f.rule))
-    return kept
+    """Self-lint one module's source; returns unsuppressed findings.
+
+    Delegates to the plugin registry
+    (:mod:`repro.analysis.registry`), which replays the original
+    composition — parse, SR checks in order, suppression comments,
+    sort — so output is identical to the pre-registry linter.
+    """
+    # Imported here, not at module top: the registry imports this
+    # module's check functions to register them.
+    from repro.analysis.registry import run_module_scope
+    return run_module_scope("self", source, path)
 
 
 def selflint_file(path: str) -> List[LintFinding]:

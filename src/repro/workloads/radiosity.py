@@ -50,7 +50,16 @@ class Radiosity(Workload):
         self.counter_lock = alloc.isolated_word()
 
     def _pop_tx(self, queue: int, rng: random.Random) -> List[Op]:
-        """Queue pop: reserve with fetch-and-increment, then read the task."""
+        """Queue pop: reserve with fetch-and-increment, then read the task.
+
+        Interaction-list entries are *read* here under the victim's
+        queue lock while :meth:`_append_tx` *writes* them under the
+        global list lock — a deliberately inconsistent lockset
+        (baselined under RC001/RC002): the original radiosity
+        work-stealing code reads task records racily and tolerates
+        stale entries; in TM mode each section is a transaction and
+        word-level conflict detection handles it.
+        """
         return [Op.incr(self.queue_heads[queue]),
                 Op.load(self.interaction[rng.randrange(
                     len(self.interaction))]),

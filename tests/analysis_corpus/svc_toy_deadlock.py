@@ -1,0 +1,30 @@
+"""Seeded defect: two locks acquired in opposite orders.
+
+``transfer_out`` nests ``lock_b`` inside ``lock_a``; ``transfer_in``
+nests them the other way round. Two threads running one method each can
+deadlock holding one lock and waiting on the other — a cycle in the
+lock-acquisition-order graph.
+"""
+# expect: RC003
+
+import threading
+
+
+class TwoAccounts:
+    def __init__(self) -> None:
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.balance_a = 0
+        self.balance_b = 0
+
+    def transfer_out(self, amount: int) -> None:
+        with self.lock_a:
+            with self.lock_b:
+                self.balance_a -= amount
+                self.balance_b += amount
+
+    def transfer_in(self, amount: int) -> None:
+        with self.lock_b:
+            with self.lock_a:
+                self.balance_b -= amount
+                self.balance_a += amount

@@ -1,0 +1,29 @@
+"""Seeded defect: shared attribute mutated with no lock at all.
+
+A background thread increments ``count`` while the public API also
+increments and reads it; no access holds any lock, so increments are
+lost (``+=`` is not atomic across the read-modify-write).
+"""
+# expect: RC004
+
+import threading
+
+
+class UnguardedCounter:
+    def __init__(self) -> None:
+        self.count = 0
+        self._thread = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._worker)
+        self._thread.start()
+
+    def _worker(self) -> None:
+        for _ in range(1000):
+            self.count += 1
+
+    def increment(self) -> None:
+        self.count += 1
+
+    def value(self) -> int:
+        return self.count

@@ -1,0 +1,31 @@
+"""Seeded defect: every access is locked, but not by the *same* lock.
+
+The worker thread updates ``total`` under ``_write_lock`` while the
+API reads it under ``_read_lock``; the two locksets never intersect, so
+the "locking" excludes nothing. The empty candidate-lockset
+intersection convicts even though no single access looks unguarded.
+"""
+# expect: RC004
+
+import threading
+
+
+class WrongLock:
+    def __init__(self) -> None:
+        self._write_lock = threading.Lock()
+        self._read_lock = threading.Lock()
+        self.total = 0
+        self._thread = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._accumulate)
+        self._thread.start()
+
+    def _accumulate(self) -> None:
+        for step in range(1000):
+            with self._write_lock:
+                self.total += step
+
+    def read(self) -> int:
+        with self._read_lock:
+            return self.total

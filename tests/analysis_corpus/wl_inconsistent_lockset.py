@@ -1,0 +1,24 @@
+"""Seeded defect: one shared counter guarded by two different locks.
+
+Thread A incrementing under ``lock_a`` does not exclude thread B
+incrementing under ``lock_b`` — classic Eraser lockset violation. Every
+section carries *a* lock, so the per-section lint (VR001) is blind to
+it; only the cross-section lockset intersection sees the empty set.
+"""
+# expect: RC001
+
+from repro.workloads.base import Op, Section
+
+
+class InconsistentLockset:
+    def __init__(self, alloc, num_threads: int = 2) -> None:
+        self.num_threads = num_threads
+        self.counter = alloc.isolated_word()
+        self.lock_a = alloc.isolated_word()
+        self.lock_b = alloc.isolated_word()
+
+    def program(self, thread_index, rng):
+        yield Section(ops=[Op.incr(self.counter)], lock=self.lock_a,
+                      label="corpus.a")
+        yield Section(ops=[Op.incr(self.counter)], lock=self.lock_b,
+                      label="corpus.b")

@@ -1,0 +1,23 @@
+"""Seeded defect: guarded writes, unguarded read of the same location.
+
+The write sections all hold ``lock``; the final summary section reads
+``total`` with no lock at all. VR001 cannot see this — it only flags
+lock-less sections that *write* — but the candidate lockset over all
+accesses is empty, so the reader can observe a torn/stale value.
+"""
+# expect: RC001
+
+from repro.workloads.base import Op, Section
+
+
+class PartialGuard:
+    def __init__(self, alloc, num_threads: int = 2) -> None:
+        self.num_threads = num_threads
+        self.total = alloc.isolated_word()
+        self.lock = alloc.isolated_word()
+
+    def program(self, thread_index, rng):
+        yield Section(ops=[Op.incr(self.total)], lock=self.lock,
+                      label="corpus.write")
+        # Unlocked read-only section: invisible to VR001.
+        yield Section(ops=[Op.load(self.total)], label="corpus.peek")

@@ -1,0 +1,24 @@
+"""Seeded defect: check-then-act split across two atomic sections.
+
+The balance is read in one section and a derived value stored in a
+*later* section. Both sections hold the same lock (locksets are
+consistent — no RC001), but between the two another thread can change
+the balance: the write is based on a stale read. The atomicity unit is
+wrong, not the locking.
+"""
+# expect: RC002
+
+from repro.workloads.base import Op, Section
+
+
+class StaleRead:
+    def __init__(self, alloc, num_threads: int = 2) -> None:
+        self.num_threads = num_threads
+        self.balance = alloc.isolated_word()
+        self.lock = alloc.isolated_word()
+
+    def program(self, thread_index, rng):
+        yield Section(ops=[Op.load(self.balance)], lock=self.lock,
+                      label="corpus.check")
+        yield Section(ops=[Op.store(self.balance, 1)], lock=self.lock,
+                      label="corpus.act")
