@@ -88,6 +88,33 @@ def _context_for(spans: List[Tuple[int, int, str]], line: int) -> str:
     return best
 
 
+def build_project(paths: Optional[Sequence[str]] = None) -> Project:
+    """Parse ``paths`` (default: the repro package) into a Project.
+
+    Unparsable and unreadable files are skipped — callers that need
+    parse errors reported as findings use :func:`analyze_paths`. This
+    is the entry point for consumers that want the call graph without
+    the passes (the protocol extractor, table dumping, tests).
+    """
+    package_dir = _repro_package_dir()
+    if not paths:
+        paths = [package_dir]
+    modules: List[ModuleInfo] = []
+    for path in _collect_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            continue
+        try:
+            modules.append(parse_module(path, source,
+                                        name=_module_name(path,
+                                                          package_dir)))
+        except SyntaxError:
+            continue
+    return Project(modules)
+
+
 def analyze_paths(paths: Optional[Sequence[str]] = None
                   ) -> List[Finding]:
     """Run every registered pass over ``paths``; sorted findings.
@@ -185,4 +212,5 @@ def rules_catalog() -> Dict[str, str]:
     return all_rules()
 
 
-__all__ = ["analyze_paths", "render_text", "rules_catalog"]
+__all__ = ["analyze_paths", "build_project", "render_text",
+           "rules_catalog"]

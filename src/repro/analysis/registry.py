@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.callgraph import Project
 from repro.analysis.findings import ANALYSIS_RULES, Finding
+from repro.analysis.protospec import PROTOCOL_RULES
 from repro.verify.lint import (LintFinding, RULES, _check_vr001,
                                _check_vr002, _check_vr003, _check_vr004,
                                _check_vr005, _is_suppressed,
@@ -83,6 +84,7 @@ def all_rules() -> Dict[str, str]:
     for rule in _MODULE_RULES:
         out[rule.rule_id] = rule.description
     out.update(ANALYSIS_RULES)  # each RC pass reports several rule ids
+    out.update(PROTOCOL_RULES)  # the PC pass likewise reports four ids
     for rule in _PROJECT_RULES:
         out[rule.rule_id] = rule.description
     return out
@@ -160,6 +162,14 @@ def _register_builtin() -> None:
     register_project_rule(ProjectRule(
         rule_id="RC003", description=ANALYSIS_RULES["RC003"],
         check=analyze_threads))
+
+    from repro.analysis.protocol import protocol_pass
+
+    # PC002-PC004 ride on the PC001 pass; the catalog lists all four
+    # individually via PROTOCOL_RULES.
+    register_project_rule(ProjectRule(
+        rule_id="PC001", description=PROTOCOL_RULES["PC001"],
+        check=protocol_pass))
 
 
 def _looks_like_workload(tree: ast.Module) -> bool:

@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -215,11 +216,15 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from repro.analysis import (analyze_paths, apply_baseline,
-                                default_baseline_path, load_baseline,
-                                render_sarif, render_text, rules_catalog,
-                                save_baseline)
-    from repro.analysis.baseline import BaselineError
+    from repro.analysis import (analyze_paths, render_sarif, render_text,
+                                rules_catalog)
+
+    if args.protocol:
+        return _cmd_analyze_protocol(args)
+    if args.coverage or args.dump_table:
+        print("analyze: --coverage/--dump-table require --protocol",
+              file=sys.stderr)
+        return 2
 
     paths = args.paths
     if not paths:
@@ -228,22 +233,11 @@ def _cmd_analyze(args) -> int:
     findings = analyze_paths(paths)
 
     if args.update_baseline:
-        target = args.baseline or default_baseline_path() or \
-            "ANALYSIS_BASELINE.json"
-        save_baseline(target, findings)
-        print(f"analyze: baseline written to {target} "
-              f"({len(findings)} finding(s))")
-        return 0
+        return _write_baseline(args, findings)
 
-    baseline_path = default_baseline_path(args.baseline)
-    new = findings
-    if baseline_path is not None:
-        try:
-            baseline = load_baseline(baseline_path)
-        except BaselineError as exc:
-            print(f"analyze: {exc}", file=sys.stderr)
-            return 2
-        findings, new = apply_baseline(findings, baseline)
+    findings, new, status = _apply_baseline_arg(args, findings)
+    if status:
+        return status
 
     if args.format == "sarif":
         print(render_sarif(findings, rules_catalog()))
@@ -252,6 +246,144 @@ def _cmd_analyze(args) -> int:
     else:
         print(render_text(findings))
     return 1 if new else 0
+
+
+def _write_baseline(args, findings) -> int:
+    """``--update-baseline``: rewrite the findings baseline, exit 2 on
+    an unwritable target (a traceback here used to mask typos in CI
+    paths)."""
+    from repro.analysis import default_baseline_path, save_baseline
+
+    target = args.baseline or default_baseline_path() or \
+        "ANALYSIS_BASELINE.json"
+    try:
+        save_baseline(target, findings)
+    except OSError as exc:
+        print(f"analyze: cannot write baseline {target!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"analyze: baseline written to {target} "
+          f"({len(findings)} finding(s))")
+    return 0
+
+
+def _apply_baseline_arg(args, findings):
+    """(marked findings, new findings, error status) for --baseline."""
+    from repro.analysis import (apply_baseline, default_baseline_path,
+                                load_baseline)
+    from repro.analysis.baseline import BaselineError
+
+    baseline_path = default_baseline_path(args.baseline)
+    if baseline_path is None:
+        return findings, findings, 0
+    try:
+        baseline = load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return findings, findings, 2
+    findings, new = apply_baseline(findings, baseline)
+    return findings, new, 0
+
+
+def _cmd_analyze_protocol(args) -> int:
+    """``repro analyze --protocol``: transition-table conformance.
+
+    Extracts each fabric's transition table, checks it against the
+    declarative spec (PC001-PC004), and optionally dumps the tables
+    (``--dump-table DIR``) or fuses them with bounded model-checker
+    reachability (``--coverage FABRIC``). Paths default to the
+    ``repro.coherence`` package — the extractor resolves ``super()``
+    delegation, so the fabrics' shared base must be in scope.
+    """
+    from repro.analysis import render_sarif, render_text, rules_catalog
+    from repro.analysis.engine import build_project
+    from repro.analysis.protocol import (check_extraction, extract_tables,
+                                         tables_json)
+    from repro.analysis.protomodel import render_tables
+
+    paths = args.paths
+    if not paths:
+        import repro.coherence
+        paths = [str(__import__("pathlib").Path(
+            repro.coherence.__file__).parent)]
+    extractions = extract_tables(build_project(paths))
+    if not extractions:
+        print("analyze: no coherence fabric classes found under "
+              f"{', '.join(paths)}", file=sys.stderr)
+        return 2
+    tables = [e.table for e in extractions]
+
+    if args.dump_table:
+        os.makedirs(args.dump_table, exist_ok=True)
+        for kind, payload in sorted(tables_json(extractions).items()):
+            target = os.path.join(args.dump_table, f"{kind}.json")
+            with open(target, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"analyze: wrote {target}")
+
+    findings = []
+    for extraction in extractions:
+        findings.extend(check_extraction(extraction))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if args.update_baseline:
+        return _write_baseline(args, findings)
+    findings, new, status = _apply_baseline_arg(args, findings)
+    if status:
+        return status
+
+    reports = []
+    if args.coverage:
+        report, status = _protocol_coverage(args, extractions)
+        if status:
+            return status
+        reports.append(report)
+
+    if args.format == "sarif":
+        print(render_sarif(findings, rules_catalog()))
+    elif args.format == "json" or args.json:
+        _emit_json({
+            "tables": tables_json(extractions),
+            "findings": [f.to_dict() for f in findings],
+            "coverage": [r.to_dict() for r in reports],
+        })
+    else:
+        print(render_tables(tables))
+        if findings:
+            print(render_text(findings))
+        else:
+            print("protocol: no conformance findings")
+        for report in reports:
+            print(report.render())
+    failed = bool(new) or any(not r.clean for r in reports)
+    return 1 if failed else 0
+
+
+def _protocol_coverage(args, extractions):
+    """Run the bounded exploration behind ``--coverage FABRIC``."""
+    from repro.mc import (DEFAULT_STATE_CAP, ModelConfig,
+                          TransitionCoverage, check, compare_coverage)
+
+    by_kind = {e.kind: e.table for e in extractions}
+    if args.coverage not in by_kind:
+        print(f"analyze: no extracted table for fabric "
+              f"{args.coverage!r} (found: {', '.join(sorted(by_kind))})",
+              file=sys.stderr)
+        return None, 2
+    cap = (args.state_cap if args.state_cap is not None
+           else DEFAULT_STATE_CAP)
+    coverage = TransitionCoverage(args.coverage)
+    result = check(ModelConfig(fabric=args.coverage), state_cap=cap,
+                   observer=coverage)
+    if not result.clean:
+        # Coverage of a violating fabric is meaningless; surface the
+        # model-checking failure instead.
+        print(f"analyze: model check failed: {result.summary()}",
+              file=sys.stderr)
+        return None, 2
+    return compare_coverage(args.coverage, by_kind[args.coverage].keys(),
+                            coverage), 0
 
 
 def _cmd_mc(args) -> int:
@@ -687,6 +819,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--update-baseline", action="store_true",
                    help="rewrite the baseline from this run's findings "
                         "and exit 0")
+    p.add_argument("--protocol", action="store_true",
+                   help="protocol-conformance mode: extract coherence "
+                        "transition tables and check them against the "
+                        "declarative spec (rules PC001-PC004; default "
+                        "paths: the repro.coherence package)")
+    p.add_argument("--dump-table", default=None, metavar="DIR",
+                   help="with --protocol: write one <fabric>.json "
+                        "extracted table per fabric into DIR")
+    p.add_argument("--coverage", default=None, metavar="FABRIC",
+                   choices=["directory", "snooping", "multichip"],
+                   help="with --protocol: model-check FABRIC and "
+                        "report extracted-vs-exercised transition "
+                        "coverage (exit 1 on exercised-but-unextracted)")
+    p.add_argument("--state-cap", type=int, default=None,
+                   help="state bound for --coverage exploration "
+                        "(default: the mc default)")
     p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser(

@@ -19,7 +19,11 @@ Layout:
 * :mod:`repro.mc.invariants` — TM-level invariants layered on the
   coherence audits;
 * :mod:`repro.mc.checker` — BFS frontier, state cap, counterexample
-  extraction and replay.
+  extraction and replay;
+* :mod:`repro.mc.coverage` — classifies explored transitions into the
+  static ``(stimulus, variant, outcome)`` keys of
+  :mod:`repro.analysis.protocol`'s extracted tables and diffs the two
+  (the ``repro analyze --protocol --coverage`` fusion).
 
 Validation: the mutation harness in :mod:`repro.verify.faults`
 resurrects the three protocol bugs fixed by the dynamic-analysis PR
@@ -29,11 +33,14 @@ suite proves the checker convicts each with a counterexample.
 
 from repro.mc.checker import (DEFAULT_STATE_CAP, Counterexample,
                               ModelCheckResult, check, replay)
+from repro.mc.coverage import (CoverageReport, TransitionCoverage,
+                               compare_coverage)
 from repro.mc.model import (ModelConfig, ProtocolModel, action_from_dict,
                             action_to_dict)
 
 __all__ = [
-    "DEFAULT_STATE_CAP", "Counterexample", "ModelCheckResult",
-    "ModelConfig", "ProtocolModel", "action_from_dict",
-    "action_to_dict", "check", "replay",
+    "DEFAULT_STATE_CAP", "Counterexample", "CoverageReport",
+    "ModelCheckResult", "ModelConfig", "ProtocolModel",
+    "TransitionCoverage", "action_from_dict", "action_to_dict", "check",
+    "compare_coverage", "replay",
 ]

@@ -148,10 +148,37 @@ class ModelCheckResult:
                 f"({status}) — {verdict}")
 
 
+class _EventSink:
+    """Minimal recorder (duck-typing ``TraceRecorder.record``) that
+    collects one transition's emitted events for the observer."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[str, Dict[str, object]]] = []
+
+    def record(self, kind: str, **fields) -> None:
+        self.events.append((kind, fields))
+
+
 def check(mcfg: ModelConfig,
-          state_cap: int = DEFAULT_STATE_CAP) -> ModelCheckResult:
-    """Explore the reachable state space; stop at the first violation."""
+          state_cap: int = DEFAULT_STATE_CAP,
+          observer=None) -> ModelCheckResult:
+    """Explore the reachable state space; stop at the first violation.
+
+    ``observer``, when given, is called as ``observer(model, action,
+    events, changed)`` after every successfully applied transition —
+    *including* self-loops the BFS discards (a NACK that moved nothing
+    is still an exercised protocol transition, which is exactly what
+    the coverage fusion in :mod:`repro.mc.coverage` needs to see).
+    ``events`` is the list of ``(kind, fields)`` the transition emitted;
+    a sink recorder is installed for the duration of the exploration.
+    """
     model = ProtocolModel(mcfg)
+    sink: Optional[_EventSink] = None
+    if observer is not None:
+        sink = _EventSink()
+        model.stats.recorder = sink
     maps = symmetry_maps(mcfg)
     init_raw = model.encode()
     init_key = canonical_key(model, maps)
@@ -182,6 +209,8 @@ def check(mcfg: ModelConfig,
             if states >= state_cap:
                 break
             model.decode(raw)
+            if sink is not None:
+                sink.events = []
             try:
                 model.apply(action)
             except TransitionViolation as tv:
@@ -195,6 +224,8 @@ def check(mcfg: ModelConfig,
                     counterexample=_replayed(mcfg, path, tv.invariant,
                                              str(tv)))
             child_raw = model.encode()
+            if observer is not None:
+                observer(model, action, sink.events, child_raw != raw)
             if child_raw == raw:
                 continue        # self-loop (e.g. a NACK that moved nothing)
             transitions += 1

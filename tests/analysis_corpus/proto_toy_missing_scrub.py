@@ -1,0 +1,187 @@
+"""Protocol-conformance corpus: required effects/transitions missing.
+
+Static transcription of the PR-4 ``no-scrub`` mutation: the scrub
+handler tears down the directory pointers but never invalidates the
+cached copies, so a recycled physical frame can serve stale data. The
+toy also omits ``note_relocated_block`` entirely — after OS page
+relocation nothing arms ``must_check_all``, leaving a hole in the
+(stimulus, variant) key space. Both defects are non-exhaustiveness:
+PC001.
+"""
+# expect: PC001
+
+
+class MESI:
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+class CoherenceResult:
+    def __init__(self, granted, grant_state=None, blockers=()):
+        self.granted = granted
+        self.grant_state = grant_state
+        self.blockers = list(blockers)
+
+
+class ToyDirEntry:
+    def __init__(self):
+        self.owner = None
+        self.sharers = set()
+        self.sticky = set()
+        self.lost_info = False
+        self.must_check_all = False
+
+    def forward_targets(self, is_write):
+        targets = set(self.sharers)
+        if self.owner is not None:
+            targets.add(self.owner)
+        if is_write:
+            targets |= self.sticky
+        return targets
+
+
+class ScrubLeakDirectoryFabric:
+    """Directory fabric whose scrub path forgets the invalidations."""
+
+    def __init__(self, ports, network, l2):
+        self._entries = {}
+        self._ports = ports
+        self.ports = list(ports)
+        self.network = network
+        self.l2 = l2
+
+    def _entry(self, block_addr):
+        entry = self._entries.get(block_addr)
+        if entry is None:
+            entry = ToyDirEntry()
+            self._entries[block_addr] = entry
+        return entry
+
+    def request(self, requester_core, requester_thread, requester_ts,
+                block_addr, is_write, asid):
+        entry = self._entry(block_addr)
+        self._c_requests.add()
+        bank = 0
+        msg = "GETM" if is_write else "GETS"
+        self.network.core_to_bank(requester_core, bank, msg)
+        if entry.lost_info or entry.must_check_all:
+            blockers = self._broadcast_check(
+                requester_core, requester_thread, block_addr, is_write,
+                entry, bank)
+        else:
+            blockers = self._targeted_check(
+                requester_core, block_addr, is_write, entry, bank)
+        if blockers:
+            self._c_nacks.add()
+            self.network.bank_to_core(bank, requester_core, "NACK")
+            return CoherenceResult(granted=False, blockers=blockers)
+        self.network.bank_to_core(bank, requester_core, "DATA")
+        grant_state = self._apply_grant(requester_core, block_addr,
+                                        is_write, entry)
+        return CoherenceResult(granted=True, grant_state=grant_state)
+
+    def _broadcast_check(self, requester_core, requester_thread,
+                         block_addr, is_write, entry, bank):
+        self._c_broadcasts.add()
+        self.network.broadcast_from_bank(bank, "rebuild")
+        blockers = self._check(list(range(len(self.ports))),
+                               requester_core, block_addr, is_write)
+        entry.lost_info = False
+        entry.must_check_all = bool(blockers)
+        for port in self.ports:
+            if port.holds_transactional(block_addr):
+                entry.sticky.add(port.core_id)
+        return blockers
+
+    def _targeted_check(self, requester_core, block_addr, is_write,
+                        entry, bank):
+        targets = entry.forward_targets(is_write)
+        targets.discard(requester_core)
+        for target in targets:
+            self.network.bank_to_core(bank, target, "fwd")
+        blockers = self._check(targets, requester_core, block_addr,
+                               is_write)
+        return blockers
+
+    def _check(self, cores, requester_core, block_addr, is_write):
+        blockers = []
+        for core_id in cores:
+            port = self._ports[core_id]
+            found = port.check_conflicts(block_addr, is_write)
+            if found:
+                blockers.extend(found)
+            elif is_write:
+                port.invalidate_block(block_addr)
+            else:
+                port.downgrade_block(block_addr)
+        return blockers
+
+    def _apply_grant(self, requester_core, block_addr, is_write, entry):
+        if entry.sticky:
+            cleaned = {cid for cid in entry.sticky
+                       if cid == requester_core
+                       or not self._ports[cid].holds_transactional(
+                           block_addr)}
+            if cleaned:
+                self._c_sticky_cleaned.add(len(cleaned))
+                entry.sticky -= cleaned
+        entry.must_check_all = False
+        if is_write:
+            entry.sharers.clear()
+            entry.owner = requester_core
+            return MESI.MODIFIED
+        if entry.owner is not None and entry.owner != requester_core:
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+        if not entry.sharers and not entry.sticky:
+            entry.owner = requester_core
+            return MESI.EXCLUSIVE
+        entry.sharers.add(requester_core)
+        return MESI.SHARED
+
+    def l1_evicted(self, core_id, block_addr, state, transactional):
+        entry = self._entry(block_addr)
+        if transactional:
+            entry.sticky.add(core_id)
+            self._c_sticky_set.add()
+            return
+        if state is MESI.MODIFIED:
+            if entry.owner == core_id:
+                entry.owner = None
+        elif state is MESI.EXCLUSIVE:
+            if entry.owner == core_id:
+                entry.owner = None
+
+    def _l2_victimized(self, victim_addr):
+        entry = self._entries.get(victim_addr)
+        if entry is None:
+            return
+        holders = set(entry.sharers)
+        if entry.owner is not None:
+            holders.add(entry.owner)
+        for core_id in holders:
+            port = self._ports[core_id]
+            if port.holds_transactional(victim_addr):
+                self._c_l2_victim_tx.add()
+            port.invalidate_block(victim_addr)
+        entry.owner = None
+        entry.sharers.clear()
+        entry.sticky.clear()
+        entry.lost_info = True
+
+    def scrub_block(self, block_addr):
+        # BUG (PC001): recycling a frame must invalidate every cached
+        # copy; this scrub only resets the directory's own pointers, so
+        # L1s keep serving the stale line.
+        entry = self._entry(block_addr)
+        for port in self.ports:
+            if port.holds_transactional(block_addr):
+                entry.sticky.add(port.core_id)
+        self.l2.invalidate(block_addr)
+        entry.owner = None
+        entry.sharers.clear()
+
+    # BUG (PC001): no note_relocated_block — OS page relocation never
+    # arms must_check_all, so the RELOCATE transition is missing.

@@ -61,10 +61,12 @@ def _expected_rules() -> dict:
 
 def test_corpus_has_at_least_six_seeded_defects():
     expected = _expected_rules()
-    assert len(expected) >= 6
-    # The corpus spans all four concurrency rules.
+    assert len(expected) >= 11
+    # The corpus spans all four concurrency rules and all four
+    # protocol-conformance rules.
     assert set().union(*expected.values()) == {
-        "RC001", "RC002", "RC003", "RC004"}
+        "RC001", "RC002", "RC003", "RC004",
+        "PC001", "PC002", "PC003", "PC004"}
 
 
 def test_every_corpus_defect_convicted_with_the_right_rule():
